@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the paper's Tables 1, 2 and 3."""
+
+import pytest
+
+from repro.experiments import run_table1, run_table2, run_table3
+
+
+def test_table1_cost_model_gap(benchmark):
+    """Table 1: cost model vs end-to-end latency discrepancy per DNN."""
+    report = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print("\n" + report.to_text())
+    diffs = report.column("diff_percent")
+    # Paper: discrepancies between ~5% and ~24% across the six models.
+    assert all(1.0 <= d <= 35.0 for d in diffs.values())
+    assert max(diffs.values()) >= 10.0
+
+
+def test_table2_pet_vs_taso(benchmark):
+    """Table 2: PET wins on ResNet-18 but loses on ResNeXt-50."""
+    report = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print("\n" + report.to_text())
+    pet, taso = report.column("pet_ms"), report.column("taso_ms")
+    assert pet["resnet18"] < taso["resnet18"]
+    assert pet["resnext50"] > taso["resnext50"]
+
+
+def test_table3_complexity(benchmark):
+    """Table 3: per-DNN rewrite complexity (InceptionV3 the richest)."""
+    report = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print("\n" + report.to_text())
+    complexity = report.column("complexity")
+    assert complexity["inception_v3"] == max(complexity.values())
+    assert all(c > 0 for c in complexity.values())

@@ -1,0 +1,41 @@
+"""Compare X-RLflow against the TASO, Tensat and random-search baselines.
+
+This mirrors the paper's Figure 4 / Figure 8 workflow on a single model::
+
+    python examples/compare_optimisers.py [model_name]
+"""
+
+import sys
+
+from repro import XRLflow, build_model
+from repro.cost import E2ESimulator
+from repro.experiments import benchmark_config, small_model_kwargs
+from repro.search import RandomSearchOptimizer, TASOOptimizer, TensatOptimizer
+
+
+def main(model_name: str = "squeezenet") -> None:
+    graph = build_model(model_name, **small_model_kwargs(model_name))
+    print(f"Optimising {model_name}: {graph.num_nodes} nodes")
+
+    # All optimisers report against the same end-to-end latency simulator.
+    e2e = E2ESimulator()
+    contenders = {
+        "taso": TASOOptimizer(max_iterations=40, e2e=e2e),
+        "tensat": TensatOptimizer(round_limit=4, e2e=e2e),
+        "random": RandomSearchOptimizer(num_walks=3, horizon=20, e2e=e2e),
+        "xrlflow": XRLflow(benchmark_config(), e2e=e2e),
+    }
+
+    results = {}
+    for name, optimiser in contenders.items():
+        results[name] = optimiser.optimise(graph, model_name)
+        print(results[name].summary())
+
+    print("\nEnd-to-end speedup over the unoptimised graph:")
+    for name, result in sorted(results.items(), key=lambda kv: -kv[1].speedup):
+        print(f"  {name:8s} {result.speedup_percent:+7.2f}%  "
+              f"({result.optimisation_time_s:.2f}s optimisation time)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "squeezenet")

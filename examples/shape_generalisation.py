@@ -1,0 +1,36 @@
+"""Shape generalisation (the paper's Figure 7): train once, reuse the agent.
+
+A single X-RLflow agent is trained on DALL-E at one text length and then
+optimises — inference only, no retraining — the same architecture at other
+input lengths::
+
+    python examples/shape_generalisation.py
+"""
+
+from repro.core import ShapeVariant, evaluate_generalisation
+from repro.experiments import benchmark_config, small_model_kwargs
+from repro.models import build_model
+
+
+def main() -> None:
+    base = small_model_kwargs("dalle")
+    variants = [
+        ShapeVariant("dalle-text32", dict(base, text_len=32), is_training_shape=True),
+        ShapeVariant("dalle-text48", dict(base, text_len=48)),
+        ShapeVariant("dalle-text64", dict(base, text_len=64)),
+        ShapeVariant("dalle-image128", dict(base, image_tokens=128)),
+    ]
+    report = evaluate_generalisation(
+        lambda **kw: build_model("dalle", **kw),
+        variants,
+        config=benchmark_config(),
+        model_name="dalle",
+    )
+    print(report.summary())
+    for label, result in zip(report.labels, report.results):
+        print(f"  {label:18s} speedup {result.speedup_percent:+6.2f}%  "
+              f"({len(result.applied_rules)} substitutions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""X-RLflow reproduction: graph reinforcement learning for tensor graph superoptimisation.
+
+The package is organised into:
+
+* :mod:`repro.ir` — tensor computation graph IR
+* :mod:`repro.models` — model zoo (graph builders for the evaluated DNNs)
+* :mod:`repro.rules` — TASO-style rewrite-rule substrate
+* :mod:`repro.cost` — simulated device, cost model, end-to-end latency simulator
+* :mod:`repro.search` — baseline optimisers (greedy/TASO, Tensat, PET, …)
+* :mod:`repro.nn` — numpy autodiff, GNN layers, optimisers
+* :mod:`repro.rl` — PPO, GAE, the graph-rewrite RL environment
+* :mod:`repro.core` — the X-RLflow optimiser public API
+* :mod:`repro.experiments` — the per-table / per-figure reproduction harness
+
+The most common entry points (``Graph``, ``GraphBuilder``, ``XRLflow``,
+``XRLflowConfig``) are re-exported lazily at the package root.
+"""
+
+from importlib import import_module
+from typing import Any
+
+__version__ = "0.1.0"
+
+#: name → (module, attribute) for lazy top-level re-exports.
+_LAZY_EXPORTS = {
+    "Graph": ("repro.ir", "Graph"),
+    "GraphBuilder": ("repro.ir", "GraphBuilder"),
+    "OpType": ("repro.ir", "OpType"),
+    "XRLflowConfig": ("repro.core.config", "XRLflowConfig"),
+    "XRLflow": ("repro.core.xrlflow", "XRLflow"),
+    "OptimisationResult": ("repro.core.xrlflow", "OptimisationResult"),
+    "build_model": ("repro.models", "build_model"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LAZY_EXPORTS:
+        module_name, attr = _LAZY_EXPORTS[name]
+        return getattr(import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -1,0 +1,12 @@
+"""X-RLflow core: configuration, optimiser API and shape generalisation."""
+
+from .config import PAPER_TABLE4, XRLflowConfig
+from .xrlflow import OptimisationResult, XRLflow
+from .generalise import (GeneralisationReport, ShapeVariant,
+                         evaluate_generalisation)
+
+__all__ = [
+    "PAPER_TABLE4", "XRLflowConfig",
+    "OptimisationResult", "XRLflow",
+    "GeneralisationReport", "ShapeVariant", "evaluate_generalisation",
+]

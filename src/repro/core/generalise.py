@@ -1,0 +1,76 @@
+"""Shape-generalisation evaluation (the paper's Figure 7).
+
+X-RLflow is trained once in a static-tensor-shape environment and then reused
+(inference only, no retraining) on the same architecture instantiated with
+different input tensor shapes.  This module runs that protocol: train on one
+"anchor" configuration, evaluate deterministically on each shape variant and
+report the speedup per variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir.graph import Graph
+from ..search.result import SearchResult
+from .config import XRLflowConfig
+from .xrlflow import XRLflow
+
+__all__ = ["ShapeVariant", "GeneralisationReport", "evaluate_generalisation"]
+
+
+@dataclass(frozen=True)
+class ShapeVariant:
+    """One instantiation of an architecture with particular tensor shapes."""
+
+    label: str
+    builder_kwargs: Dict[str, object]
+    is_training_shape: bool = False
+
+
+@dataclass
+class GeneralisationReport:
+    """Speedups achieved on each shape variant by a single trained agent."""
+
+    model: str
+    results: List[SearchResult] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def speedups(self) -> Dict[str, float]:
+        return {label: result.speedup
+                for label, result in zip(self.labels, self.results)}
+
+    def summary(self) -> str:
+        rows = [f"{label}: x{result.speedup:.3f}"
+                for label, result in zip(self.labels, self.results)]
+        return f"{self.model} generalisation — " + ", ".join(rows)
+
+
+def evaluate_generalisation(build_fn: Callable[..., Graph],
+                            variants: Sequence[ShapeVariant],
+                            config: Optional[XRLflowConfig] = None,
+                            model_name: str = "") -> GeneralisationReport:
+    """Train on the variant flagged ``is_training_shape`` and evaluate on all.
+
+    Exactly one variant must be flagged as the training shape.  The same
+    trained agent performs inference-only optimisation on every variant.
+    """
+    config = config or XRLflowConfig.fast()
+    training = [v for v in variants if v.is_training_shape]
+    if len(training) != 1:
+        raise ValueError("exactly one variant must have is_training_shape=True")
+    anchor = training[0]
+
+    optimiser = XRLflow(config)
+    anchor_graph = build_fn(**anchor.builder_kwargs)
+    optimiser.train(anchor_graph)
+
+    report = GeneralisationReport(model=model_name or anchor_graph.name)
+    for variant in variants:
+        graph = build_fn(**variant.builder_kwargs)
+        result = optimiser.optimise(graph, model_name=variant.label, train=False)
+        report.results.append(result)
+        report.labels.append(variant.label +
+                             (" (train)" if variant.is_training_shape else ""))
+    return report

@@ -1,0 +1,183 @@
+"""The X-RLflow tensor-graph superoptimiser public API.
+
+Typical usage::
+
+    from repro import XRLflow, XRLflowConfig, build_model
+
+    graph = build_model("bert")
+    optimiser = XRLflow(XRLflowConfig.fast())
+    result = optimiser.optimise(graph, model_name="bert")
+    print(result.summary())
+
+``optimise`` trains a PPO agent in the graph-rewrite environment (unless a
+trained agent is supplied / training is disabled) and then runs deterministic
+evaluation episodes, returning the best graph encountered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cost.cost_model import CostModel
+from ..cost.e2e import E2ESimulator
+from ..ir.graph import Graph
+from ..rules.base import RuleSet
+from ..rules.rulesets import default_ruleset
+from ..rl.env import GraphRewriteEnv
+from ..rl.ppo import PPOUpdater, XRLflowAgent
+from ..rl.training import PPOTrainer, TrainingHistory
+from ..search.result import SearchResult, timed
+from .config import XRLflowConfig
+
+__all__ = ["XRLflow", "OptimisationResult"]
+
+#: Alias kept for API clarity: X-RLflow returns the same result type as the
+#: baseline optimisers so they can be compared directly.
+OptimisationResult = SearchResult
+
+
+class XRLflow:
+    """Graph-RL tensor graph superoptimiser (the paper's system)."""
+
+    name = "xrlflow"
+
+    def __init__(self, config: Optional[XRLflowConfig] = None,
+                 ruleset: Optional[RuleSet] = None,
+                 e2e: Optional[E2ESimulator] = None,
+                 cost_model: Optional[CostModel] = None):
+        self.config = config or XRLflowConfig()
+        self.config.validate()
+        self.ruleset = ruleset or default_ruleset()
+        self.e2e = e2e or E2ESimulator(seed=self.config.seed)
+        self.cost_model = cost_model or CostModel()
+        self.agent: Optional[XRLflowAgent] = None
+        self.history: Optional[TrainingHistory] = None
+
+    # ------------------------------------------------------------------
+    def _build_env(self, graph: Graph) -> GraphRewriteEnv:
+        cfg = self.config
+        return GraphRewriteEnv(
+            graph, ruleset=self.ruleset, e2e=self.e2e,
+            feedback_interval=cfg.feedback_interval,
+            step_reward=cfg.step_reward,
+            max_candidates=cfg.max_candidates,
+            max_steps=cfg.max_steps,
+            seed=cfg.seed,
+        )
+
+    def _build_agent(self) -> XRLflowAgent:
+        cfg = self.config
+        return XRLflowAgent(hidden_dim=cfg.hidden_dim,
+                            embedding_dim=cfg.embedding_dim,
+                            num_gat_layers=cfg.num_gat_layers,
+                            head_sizes=cfg.mlp_head_sizes,
+                            seed=cfg.seed)
+
+    # ------------------------------------------------------------------
+    def train(self, graph: Graph, num_episodes: Optional[int] = None,
+              log_fn=None) -> TrainingHistory:
+        """Train a fresh agent on ``graph`` for ``num_episodes`` episodes."""
+        cfg = self.config
+        env = self._build_env(graph)
+        self.agent = self._build_agent()
+        updater = PPOUpdater(
+            self.agent,
+            learning_rate=cfg.learning_rate,
+            clip_epsilon=cfg.clip_epsilon,
+            value_coef=cfg.value_loss_coef,
+            entropy_coef=cfg.entropy_loss_coef,
+            epochs=cfg.ppo_epochs,
+            batch_size=cfg.batch_size,
+            max_grad_norm=cfg.max_grad_norm,
+            seed=cfg.seed,
+        )
+        trainer = PPOTrainer(env, self.agent, updater,
+                             update_frequency=cfg.update_frequency,
+                             gamma=cfg.gamma, gae_lambda=cfg.gae_lambda,
+                             log_fn=log_fn)
+        self.history = trainer.train(num_episodes or cfg.num_episodes)
+        self._training_env = env
+        return self.history
+
+    # ------------------------------------------------------------------
+    def optimise(self, graph: Graph, model_name: str = "",
+                 train: bool = True, log_fn=None) -> SearchResult:
+        """Optimise ``graph``: (optionally) train, then evaluate greedily.
+
+        The returned graph is the best one (by simulated end-to-end latency)
+        seen across training exploration and the deterministic evaluation
+        episodes — the RL agent's reward signal *is* the end-to-end latency,
+        so every graph it visits has already been measured.
+        """
+        cfg = self.config
+        with timed() as elapsed:
+            if train or self.agent is None:
+                self.train(graph, log_fn=log_fn)
+                train_time = elapsed()
+            else:
+                train_time = 0.0
+
+            with timed() as opt_elapsed:
+                env = self._build_env(graph)
+                best_graph = graph
+                best_latency = self.e2e.latency_ms(graph)
+                best_rules: list[str] = []
+                episodes = max(1, cfg.eval_episodes)
+                for _ in range(episodes):
+                    obs = env.reset()
+                    done = False
+                    while not done:
+                        decision = self.agent.act(obs, deterministic=True)
+                        step = env.step(decision.action)
+                        obs, done = step.observation, step.done
+                    if env.best_latency_ms < best_latency:
+                        best_latency = env.best_latency_ms
+                        best_graph = env.best_graph
+                        best_rules = list(env.applied_rules)
+                optimisation_time = opt_elapsed()
+
+            # Also consider the best graph discovered during training
+            # exploration (its latency was measured as part of the reward).
+            training_env = getattr(self, "_training_env", None)
+            if train and training_env is not None and \
+                    training_env.best_latency_ms < best_latency:
+                best_latency = training_env.best_latency_ms
+                best_graph = training_env.best_graph
+                best_record = self.history.best_episode if self.history else None
+                best_rules = list(best_record.applied_rules) if best_record else best_rules
+
+        initial_latency = self.e2e.latency_ms(graph)
+        stats: Dict[str, float] = {
+            "train_time_s": float(train_time),
+            "episodes_trained": float(len(self.history.episodes)) if self.history else 0.0,
+            "mean_recent_reward": self.history.mean_reward() if self.history else 0.0,
+        }
+        return SearchResult(
+            optimiser=self.name,
+            model=model_name or graph.name,
+            initial_graph=graph,
+            final_graph=best_graph,
+            initial_latency_ms=initial_latency,
+            final_latency_ms=best_latency,
+            initial_cost_ms=self.cost_model.estimate(graph),
+            final_cost_ms=self.cost_model.estimate(best_graph),
+            optimisation_time_s=optimisation_time,
+            applied_rules=best_rules,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def save_agent(self, path: str) -> None:
+        """Persist the trained agent's parameters to an ``.npz`` file."""
+        if self.agent is None:
+            raise RuntimeError("no trained agent to save")
+        np.savez(path, **self.agent.state_dict())
+
+    def load_agent(self, path: str) -> None:
+        """Load agent parameters previously written by :meth:`save_agent`."""
+        state = dict(np.load(path))
+        self.agent = self._build_agent()
+        self.agent.load_state_dict(state)

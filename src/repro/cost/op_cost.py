@@ -1,0 +1,115 @@
+"""Per-operator arithmetic and memory-traffic estimates.
+
+These are the primitives both the TASO-style cost model and the end-to-end
+simulator are built from.  FLOP counts follow the standard conventions
+(2 * M * N * K for matmul, 2 * K_h * K_w * C_in * C_out * H_out * W_out for
+convolution, etc.); memory traffic counts one read per input element and one
+write per output element.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..ir.ops import (ELEMENTWISE_BINARY, ELEMENTWISE_UNARY, OP_REGISTRY,
+                      OpType)
+from ..ir.tensor import TensorSpec
+
+__all__ = ["op_flops", "op_memory_bytes", "is_zero_cost"]
+
+#: Operators that perform no device work at inference time (metadata only or
+#: resolved at graph-compile time).
+_ZERO_COST_OPS = {
+    OpType.INPUT, OpType.WEIGHT, OpType.CONSTANT, OpType.OUTPUT,
+    OpType.NOOP, OpType.IDENTITY, OpType.DROPOUT,
+}
+
+#: Data-movement operators whose cost is purely memory traffic.
+_MOVEMENT_OPS = {
+    OpType.RESHAPE, OpType.TRANSPOSE, OpType.CONCAT, OpType.SPLIT,
+    OpType.SLICE, OpType.SQUEEZE, OpType.UNSQUEEZE, OpType.FLATTEN,
+    OpType.PAD, OpType.CAST, OpType.GATHER, OpType.EMBEDDING,
+}
+
+
+def is_zero_cost(op_type: OpType) -> bool:
+    """True if the operator launches no kernel at inference time."""
+    return op_type in _ZERO_COST_OPS
+
+
+def _output_elements(outputs: Sequence[TensorSpec]) -> int:
+    return sum(o.num_elements for o in outputs)
+
+
+def op_flops(op_type: OpType, inputs: Sequence[TensorSpec],
+             outputs: Sequence[TensorSpec],
+             attrs: Mapping[str, object] | None = None) -> float:
+    """Floating-point operations performed by one application of ``op_type``."""
+    attrs = attrs or {}
+    if op_type in _ZERO_COST_OPS:
+        return 0.0
+    out_elems = _output_elements(outputs)
+
+    if op_type in (OpType.MATMUL, OpType.BATCH_MATMUL, OpType.FUSED_MATMUL_ADD):
+        a, b = inputs[0], inputs[1]
+        k = a.shape.dims[-1]
+        flops = 2.0 * out_elems * k
+        if op_type is OpType.FUSED_MATMUL_ADD:
+            flops += out_elems
+        return flops
+
+    if op_type in (OpType.CONV2D, OpType.GROUP_CONV2D, OpType.DEPTHWISE_CONV2D,
+                   OpType.ENLARGE_CONV, OpType.FUSED_CONV_BN,
+                   OpType.FUSED_CONV_RELU, OpType.FUSED_CONV_BN_RELU):
+        weight = inputs[1]
+        # weight is [C_out, C_in/groups, kh, kw]; per output element we do
+        # 2 * C_in/groups * kh * kw FLOPs.
+        per_out = 2.0 * weight.shape.dims[1] * weight.shape.dims[2] * weight.shape.dims[3]
+        flops = per_out * out_elems
+        if attrs.get("algorithm") == "winograd":
+            # Winograd F(2x2, 3x3) performs ~2.25x fewer multiplications.
+            flops /= 2.25
+        if op_type in (OpType.FUSED_CONV_BN, OpType.FUSED_CONV_BN_RELU):
+            flops += 4.0 * out_elems  # folded scale + shift
+        if op_type in (OpType.FUSED_CONV_RELU, OpType.FUSED_CONV_BN_RELU):
+            flops += out_elems
+        return flops
+
+    if op_type in (OpType.MAXPOOL2D, OpType.AVGPOOL2D):
+        kernel = int(attrs.get("kernel", 2))
+        return float(out_elems * kernel * kernel)
+    if op_type is OpType.GLOBAL_AVGPOOL:
+        return float(inputs[0].num_elements)
+
+    if op_type in ELEMENTWISE_BINARY:
+        return float(out_elems)
+    if op_type in ELEMENTWISE_UNARY:
+        # transcendental activations cost a handful of FLOPs per element
+        per_elem = {OpType.RELU: 1.0, OpType.IDENTITY: 0.0, OpType.CAST: 0.0,
+                    OpType.DROPOUT: 0.0}.get(op_type, 8.0)
+        return per_elem * out_elems
+
+    if op_type is OpType.BATCHNORM:
+        return 4.0 * out_elems
+    if op_type is OpType.LAYERNORM:
+        return 8.0 * out_elems
+    if op_type is OpType.SOFTMAX:
+        return 10.0 * out_elems
+    if op_type in (OpType.REDUCE_SUM, OpType.REDUCE_MEAN, OpType.REDUCE_MAX):
+        return float(inputs[0].num_elements)
+
+    if op_type in _MOVEMENT_OPS:
+        return 0.0
+    return float(out_elems)
+
+
+def op_memory_bytes(op_type: OpType, inputs: Sequence[TensorSpec],
+                    outputs: Sequence[TensorSpec],
+                    attrs: Mapping[str, object] | None = None) -> float:
+    """Bytes read plus written by one application of ``op_type``."""
+    if op_type in _ZERO_COST_OPS:
+        return 0.0
+    read = sum(i.size_bytes for i in inputs)
+    written = sum(o.size_bytes for o in outputs)
+    return float(read + written)

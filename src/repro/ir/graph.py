@@ -1,0 +1,358 @@
+"""Computation graph (dataflow graph) IR.
+
+A :class:`Graph` is a directed acyclic graph whose nodes are tensor operators
+and whose edges carry :class:`~repro.ir.tensor.TensorSpec` metadata.  This is
+the representation the rewrite substrate, the cost models and the RL
+environment all operate on.
+
+The design follows TASO's graph abstraction: nodes own their attributes, each
+node produces one or more output tensors, and edges reference the producing
+node's output slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .ops import OP_REGISTRY, OpType, infer_output_spec
+from .tensor import TensorSpec
+
+__all__ = ["NodeId", "Edge", "Node", "Graph", "GraphValidationError"]
+
+NodeId = int
+
+
+class GraphValidationError(ValueError):
+    """Raised when a graph violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge carrying one tensor from a producer to a consumer.
+
+    ``src_slot`` identifies which output of the producing node is carried;
+    ``dst_slot`` identifies which input position of the consumer it feeds.
+    """
+
+    src: NodeId
+    dst: NodeId
+    src_slot: int = 0
+    dst_slot: int = 0
+
+
+@dataclass
+class Node:
+    """One operator instance in a computation graph."""
+
+    node_id: NodeId
+    op_type: OpType
+    attrs: Dict[str, object] = field(default_factory=dict)
+    #: Output tensor specs (one per output slot), filled by shape inference.
+    outputs: List[TensorSpec] = field(default_factory=list)
+    name: str = ""
+
+    @property
+    def is_source(self) -> bool:
+        return self.op_type in (OpType.INPUT, OpType.WEIGHT, OpType.CONSTANT)
+
+    @property
+    def output_spec(self) -> TensorSpec:
+        """Spec of the node's first (usually only) output."""
+        return self.outputs[0]
+
+    def signature(self) -> Tuple:
+        """A hashable structural signature (op type + sorted attrs)."""
+        attr_items = tuple(sorted((k, _freeze(v)) for k, v in self.attrs.items()))
+        return (self.op_type.value, attr_items)
+
+    def copy(self) -> "Node":
+        return Node(
+            node_id=self.node_id,
+            op_type=self.op_type,
+            attrs=dict(self.attrs),
+            outputs=list(self.outputs),
+            name=self.name,
+        )
+
+
+def _freeze(value):
+    """Convert attribute values into hashable equivalents."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+class Graph:
+    """A mutable tensor computation graph.
+
+    The graph maintains:
+
+    * ``nodes``: mapping of node id to :class:`Node`
+    * ``in_edges`` / ``out_edges``: adjacency keyed by node id
+    * a monotonically increasing id counter so that rewrites never reuse ids
+
+    Structural invariants (checked by :meth:`validate`):
+
+    * acyclicity
+    * every non-source node's inputs are fully connected, with consistent
+      slot numbering and arity within the operator signature
+    * every node's output specs agree with shape inference
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.nodes: Dict[NodeId, Node] = {}
+        self._in_edges: Dict[NodeId, List[Edge]] = {}
+        self._out_edges: Dict[NodeId, List[Edge]] = {}
+        self._next_id: NodeId = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        op_type: OpType,
+        inputs: Sequence[Tuple[NodeId, int]] | Sequence[NodeId] = (),
+        attrs: Optional[Mapping[str, object]] = None,
+        name: str = "",
+    ) -> NodeId:
+        """Add a node and connect its inputs.
+
+        ``inputs`` is a sequence of producer node ids, or ``(node_id, slot)``
+        pairs when the producer has multiple outputs.  Output specs are
+        inferred immediately so that the graph is always well-typed.
+        """
+        attrs = dict(attrs or {})
+        normalised: List[Tuple[NodeId, int]] = []
+        for item in inputs:
+            if isinstance(item, tuple):
+                normalised.append((int(item[0]), int(item[1])))
+            else:
+                normalised.append((int(item), 0))
+
+        input_specs = []
+        for src, slot in normalised:
+            if src not in self.nodes:
+                raise GraphValidationError(f"input node {src} does not exist")
+            src_node = self.nodes[src]
+            if slot >= len(src_node.outputs):
+                raise GraphValidationError(
+                    f"node {src} has no output slot {slot}"
+                )
+            input_specs.append(src_node.outputs[slot])
+
+        sig = OP_REGISTRY[op_type]
+        sig.validate_arity(len(normalised))
+
+        node_id = self._next_id
+        self._next_id += 1
+        node = Node(node_id=node_id, op_type=op_type, attrs=attrs,
+                    name=name or f"{op_type.value.lower()}_{node_id}")
+
+        # Infer all output slots.
+        outputs = []
+        for out_slot in range(sig.num_outputs):
+            outputs.append(infer_output_spec(op_type, input_specs, attrs, out_slot))
+        node.outputs = outputs
+
+        self.nodes[node_id] = node
+        self._in_edges[node_id] = []
+        self._out_edges[node_id] = []
+        for dst_slot, (src, src_slot) in enumerate(normalised):
+            edge = Edge(src=src, dst=node_id, src_slot=src_slot, dst_slot=dst_slot)
+            self._in_edges[node_id].append(edge)
+            self._out_edges[src].append(edge)
+        return node_id
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node and all edges touching it."""
+        if node_id not in self.nodes:
+            raise GraphValidationError(f"node {node_id} does not exist")
+        for edge in list(self._in_edges[node_id]):
+            self._out_edges[edge.src].remove(edge)
+        for edge in list(self._out_edges[node_id]):
+            self._in_edges[edge.dst].remove(edge)
+        del self._in_edges[node_id]
+        del self._out_edges[node_id]
+        del self.nodes[node_id]
+
+    def rewire_input(self, dst: NodeId, dst_slot: int, new_src: NodeId,
+                     new_src_slot: int = 0) -> None:
+        """Redirect input ``dst_slot`` of ``dst`` to a different producer."""
+        edges = self._in_edges[dst]
+        for i, edge in enumerate(edges):
+            if edge.dst_slot == dst_slot:
+                self._out_edges[edge.src].remove(edge)
+                new_edge = Edge(new_src, dst, new_src_slot, dst_slot)
+                edges[i] = new_edge
+                self._out_edges[new_src].append(new_edge)
+                return
+        raise GraphValidationError(f"node {dst} has no input slot {dst_slot}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def in_edges(self, node_id: NodeId) -> List[Edge]:
+        return sorted(self._in_edges[node_id], key=lambda e: e.dst_slot)
+
+    def out_edges(self, node_id: NodeId) -> List[Edge]:
+        return list(self._out_edges[node_id])
+
+    def predecessors(self, node_id: NodeId) -> List[NodeId]:
+        return [e.src for e in self.in_edges(node_id)]
+
+    def successors(self, node_id: NodeId) -> List[NodeId]:
+        return [e.dst for e in self._out_edges[node_id]]
+
+    def input_specs(self, node_id: NodeId) -> List[TensorSpec]:
+        """Specs of the tensors feeding ``node_id``, in slot order."""
+        specs = []
+        for edge in self.in_edges(node_id):
+            specs.append(self.nodes[edge.src].outputs[edge.src_slot])
+        return specs
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self._in_edges.values())
+
+    def source_nodes(self) -> List[NodeId]:
+        """Ids of all Input/Weight/Constant nodes."""
+        return [nid for nid, n in self.nodes.items() if n.is_source]
+
+    def input_nodes(self) -> List[NodeId]:
+        return [nid for nid, n in self.nodes.items() if n.op_type is OpType.INPUT]
+
+    def sink_nodes(self) -> List[NodeId]:
+        """Ids of nodes with no consumers (graph outputs)."""
+        return [nid for nid in self.nodes if not self._out_edges[nid]]
+
+    def operator_nodes(self) -> List[NodeId]:
+        """All nodes that perform computation (non-source, non-Output)."""
+        return [
+            nid for nid, n in self.nodes.items()
+            if not n.is_source and n.op_type is not OpType.OUTPUT
+        ]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[NodeId]:
+        """Node ids in a deterministic topological order.
+
+        Raises :class:`GraphValidationError` if the graph contains a cycle.
+        """
+        in_degree = {nid: len(self._in_edges[nid]) for nid in self.nodes}
+        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        order: List[NodeId] = []
+        ready_set = list(ready)
+        while ready_set:
+            nid = ready_set.pop(0)
+            order.append(nid)
+            for edge in sorted(self._out_edges[nid], key=lambda e: (e.dst, e.dst_slot)):
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    # keep deterministic order: insert sorted
+                    ready_set.append(edge.dst)
+            ready_set.sort()
+        if len(order) != len(self.nodes):
+            raise GraphValidationError("graph contains a cycle")
+        return order
+
+    def __iter__(self) -> Iterator[Node]:
+        for nid in self.topological_order():
+            yield self.nodes[nid]
+
+    # ------------------------------------------------------------------
+    # Validation / hashing / copying
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raise on violation."""
+        self.topological_order()  # acyclicity
+        for nid, node in self.nodes.items():
+            sig = OP_REGISTRY[node.op_type]
+            edges = self.in_edges(nid)
+            slots = [e.dst_slot for e in edges]
+            if slots != list(range(len(slots))):
+                raise GraphValidationError(
+                    f"node {nid} ({node.op_type.value}) has gap in input slots: {slots}"
+                )
+            sig.validate_arity(len(edges))
+            input_specs = self.input_specs(nid)
+            for out_slot in range(sig.num_outputs):
+                expected = infer_output_spec(node.op_type, input_specs, node.attrs, out_slot)
+                actual = node.outputs[out_slot]
+                if expected.shape.dims != actual.shape.dims:
+                    raise GraphValidationError(
+                        f"node {nid} ({node.op_type.value}) output {out_slot} shape "
+                        f"{actual.shape.dims} disagrees with inference {expected.shape.dims}"
+                    )
+
+    def refresh_shapes(self) -> None:
+        """Re-run shape inference over the whole graph in topological order."""
+        for nid in self.topological_order():
+            node = self.nodes[nid]
+            if node.is_source:
+                continue
+            input_specs = self.input_specs(nid)
+            sig = OP_REGISTRY[node.op_type]
+            node.outputs = [
+                infer_output_spec(node.op_type, input_specs, node.attrs, s)
+                for s in range(sig.num_outputs)
+            ]
+
+    def structural_hash(self) -> str:
+        """A hash that identifies the graph up to node-id relabelling."""
+        order = self.topological_order()
+        relabel = {nid: i for i, nid in enumerate(order)}
+        payload = []
+        for nid in order:
+            node = self.nodes[nid]
+            edges = [
+                (relabel[e.src], e.src_slot, e.dst_slot) for e in self.in_edges(nid)
+            ]
+            payload.append((node.op_type.value,
+                            sorted((k, str(v)) for k, v in node.attrs.items()),
+                            [o.shape.as_list() for o in node.outputs],
+                            edges))
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def copy(self) -> "Graph":
+        """Deep copy preserving node ids."""
+        g = Graph(self.name)
+        g._next_id = self._next_id
+        g.nodes = {nid: node.copy() for nid, node in self.nodes.items()}
+        g._in_edges = {nid: list(edges) for nid, edges in self._in_edges.items()}
+        g._out_edges = {nid: list(edges) for nid, edges in self._out_edges.items()}
+        return g
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def op_type_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes.values():
+            counts[node.op_type.value] = counts.get(node.op_type.value, 0) + 1
+        return counts
+
+    def total_flops(self) -> float:
+        """Approximate floating point operations of one forward pass."""
+        from ..cost.op_cost import op_flops  # local import to avoid cycle
+        return sum(
+            op_flops(node.op_type, self.input_specs(nid), node.outputs, node.attrs)
+            for nid, node in self.nodes.items()
+        )
+
+    def __repr__(self) -> str:
+        return (f"Graph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")

@@ -1,0 +1,15 @@
+"""Model zoo: computation-graph builders for the DNNs evaluated in the paper."""
+
+from .convnets import (build_inception_v3, build_resnet18, build_resnext50,
+                       build_squeezenet)
+from .transformers import (build_bert, build_dalle,
+                           build_transformer_transducer, build_vit)
+from .registry import (MODEL_REGISTRY, ModelInfo, PAPER_EVAL_MODELS,
+                       TABLE1_MODELS, TENSAT_MODELS, build_model, list_models)
+
+__all__ = [
+    "build_inception_v3", "build_resnet18", "build_resnext50", "build_squeezenet",
+    "build_bert", "build_dalle", "build_transformer_transducer", "build_vit",
+    "MODEL_REGISTRY", "ModelInfo", "PAPER_EVAL_MODELS", "TABLE1_MODELS",
+    "TENSAT_MODELS", "build_model", "list_models",
+]

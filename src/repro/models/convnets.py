@@ -1,0 +1,223 @@
+"""Convolutional model-zoo graphs: InceptionV3, SqueezeNet, ResNeXt-50, ResNet-18.
+
+These builders reproduce the *structure* of the published architectures
+(operator types, tensor shapes, connectivity) which is all the tensor-graph
+superoptimiser consumes.  Depth parameters default to moderately sized
+configurations so the simulator and RL environment stay laptop-fast; pass
+larger values to approach the full published depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph, NodeId
+
+__all__ = ["build_inception_v3", "build_squeezenet", "build_resnext50",
+           "build_resnet18"]
+
+
+# ---------------------------------------------------------------------------
+# InceptionV3
+# ---------------------------------------------------------------------------
+
+def _inception_block_a(b: GraphBuilder, x: NodeId, pool_features: int) -> NodeId:
+    """InceptionA: 1x1, 5x5(factorised), double-3x3 and pooled branches."""
+    branch1 = b.conv_bn_relu(x, 64, kernel=1)
+    branch5 = b.conv_bn_relu(x, 48, kernel=1)
+    branch5 = b.conv_bn_relu(branch5, 64, kernel=5)
+    branch3 = b.conv_bn_relu(x, 64, kernel=1)
+    branch3 = b.conv_bn_relu(branch3, 96, kernel=3)
+    branch3 = b.conv_bn_relu(branch3, 96, kernel=3)
+    pooled = b.avgpool(x, kernel=3, stride=1, padding="same")
+    pooled = b.conv_bn_relu(pooled, pool_features, kernel=1)
+    return b.concat([branch1, branch5, branch3, pooled], axis=1)
+
+
+def _inception_block_b(b: GraphBuilder, x: NodeId, channels_7x7: int) -> NodeId:
+    """InceptionB (factorised 7x7 branches, modelled as 3x3 pairs)."""
+    branch1 = b.conv_bn_relu(x, 192, kernel=1)
+    branch7 = b.conv_bn_relu(x, channels_7x7, kernel=1)
+    branch7 = b.conv_bn_relu(branch7, channels_7x7, kernel=3)
+    branch7 = b.conv_bn_relu(branch7, 192, kernel=3)
+    branch7d = b.conv_bn_relu(x, channels_7x7, kernel=1)
+    branch7d = b.conv_bn_relu(branch7d, channels_7x7, kernel=3)
+    branch7d = b.conv_bn_relu(branch7d, 192, kernel=3)
+    pooled = b.avgpool(x, kernel=3, stride=1, padding="same")
+    pooled = b.conv_bn_relu(pooled, 192, kernel=1)
+    return b.concat([branch1, branch7, branch7d, pooled], axis=1)
+
+
+def _inception_block_c(b: GraphBuilder, x: NodeId) -> NodeId:
+    """InceptionC: the widest block with split-and-concat sub-branches."""
+    branch1 = b.conv_bn_relu(x, 320, kernel=1)
+    branch3 = b.conv_bn_relu(x, 384, kernel=1)
+    branch3a = b.conv_bn_relu(branch3, 384, kernel=3)
+    branch3b = b.conv_bn_relu(branch3, 384, kernel=3)
+    branch3 = b.concat([branch3a, branch3b], axis=1)
+    branchd = b.conv_bn_relu(x, 448, kernel=1)
+    branchd = b.conv_bn_relu(branchd, 384, kernel=3)
+    branchda = b.conv_bn_relu(branchd, 384, kernel=3)
+    branchdb = b.conv_bn_relu(branchd, 384, kernel=3)
+    branchd = b.concat([branchda, branchdb], axis=1)
+    pooled = b.avgpool(x, kernel=3, stride=1, padding="same")
+    pooled = b.conv_bn_relu(pooled, 192, kernel=1)
+    return b.concat([branch1, branch3, branchd, pooled], axis=1)
+
+
+def _reduction_block(b: GraphBuilder, x: NodeId, out3: int, out5: int) -> NodeId:
+    branch3 = b.conv_bn_relu(x, out3, kernel=3, stride=2, padding="valid")
+    branch5 = b.conv_bn_relu(x, 64, kernel=1)
+    branch5 = b.conv_bn_relu(branch5, 96, kernel=3)
+    branch5 = b.conv_bn_relu(branch5, out5, kernel=3, stride=2, padding="valid")
+    pooled = b.maxpool(x, kernel=3, stride=2, padding="valid")
+    return b.concat([branch3, branch5, pooled], axis=1)
+
+
+def build_inception_v3(batch_size: int = 1, image_size: int = 299,
+                       blocks_a: int = 2, blocks_b: int = 2,
+                       blocks_c: int = 2, num_classes: int = 1000) -> Graph:
+    """InceptionV3-style computation graph.
+
+    The stem and the three block families follow Szegedy et al. (2016); the
+    number of repetitions per family is configurable (the published network
+    uses 3/4/2).
+    """
+    b = GraphBuilder("inception_v3")
+    x = b.input((batch_size, 3, image_size, image_size), name="image")
+    # Stem
+    x = b.conv_bn_relu(x, 32, kernel=3, stride=2, padding="valid")
+    x = b.conv_bn_relu(x, 32, kernel=3, padding="valid")
+    x = b.conv_bn_relu(x, 64, kernel=3)
+    x = b.maxpool(x, kernel=3, stride=2, padding="valid")
+    x = b.conv_bn_relu(x, 80, kernel=1)
+    x = b.conv_bn_relu(x, 192, kernel=3, padding="valid")
+    x = b.maxpool(x, kernel=3, stride=2, padding="valid")
+    # Block family A
+    for i in range(blocks_a):
+        x = _inception_block_a(b, x, pool_features=32 if i == 0 else 64)
+    x = _reduction_block(b, x, out3=384, out5=96)
+    # Block family B
+    for i in range(blocks_b):
+        x = _inception_block_b(b, x, channels_7x7=128 + 32 * min(i, 2))
+    x = _reduction_block(b, x, out3=320, out5=192)
+    # Block family C
+    for _ in range(blocks_c):
+        x = _inception_block_c(b, x)
+    # Head
+    x = b.global_avgpool(x)
+    logits = b.linear(x, b.graph.nodes[x].output_spec.shape.dims[-1],
+                      num_classes, name="classifier")
+    return b.build([logits])
+
+
+# ---------------------------------------------------------------------------
+# SqueezeNet
+# ---------------------------------------------------------------------------
+
+def _fire_module(b: GraphBuilder, x: NodeId, squeeze: int, expand: int) -> NodeId:
+    """Fire module: 1x1 squeeze followed by parallel 1x1 / 3x3 expands."""
+    s = b.conv2d(x, squeeze, kernel=1)
+    s = b.relu(s)
+    e1 = b.conv2d(s, expand, kernel=1)
+    e1 = b.relu(e1)
+    e3 = b.conv2d(s, expand, kernel=3)
+    e3 = b.relu(e3)
+    return b.concat([e1, e3], axis=1)
+
+
+def build_squeezenet(batch_size: int = 1, image_size: int = 224,
+                     num_classes: int = 1000) -> Graph:
+    """SqueezeNet v1.1 computation graph (Iandola et al., 2016)."""
+    b = GraphBuilder("squeezenet")
+    x = b.input((batch_size, 3, image_size, image_size), name="image")
+    x = b.conv2d(x, 64, kernel=3, stride=2, padding="valid")
+    x = b.relu(x)
+    x = b.maxpool(x, kernel=3, stride=2, padding="valid")
+    x = _fire_module(b, x, 16, 64)
+    x = _fire_module(b, x, 16, 64)
+    x = b.maxpool(x, kernel=3, stride=2, padding="valid")
+    x = _fire_module(b, x, 32, 128)
+    x = _fire_module(b, x, 32, 128)
+    x = b.maxpool(x, kernel=3, stride=2, padding="valid")
+    x = _fire_module(b, x, 48, 192)
+    x = _fire_module(b, x, 48, 192)
+    x = _fire_module(b, x, 64, 256)
+    x = _fire_module(b, x, 64, 256)
+    x = b.conv2d(x, num_classes, kernel=1)
+    x = b.relu(x)
+    x = b.global_avgpool(x)
+    return b.build([x])
+
+
+# ---------------------------------------------------------------------------
+# ResNeXt-50 and ResNet-18
+# ---------------------------------------------------------------------------
+
+def _resnext_block(b: GraphBuilder, x: NodeId, width: int, out_channels: int,
+                   stride: int, groups: int) -> NodeId:
+    """ResNeXt bottleneck: 1x1 reduce, grouped 3x3, 1x1 expand + residual."""
+    identity = x
+    h = b.conv_bn_relu(x, width, kernel=1)
+    h = b.group_conv2d(h, width, groups=groups, kernel=3, stride=stride)
+    h = b.batchnorm(h)
+    h = b.relu(h)
+    h = b.conv2d(h, out_channels, kernel=1)
+    h = b.batchnorm(h)
+    in_channels = b.graph.nodes[x].output_spec.shape.dims[1]
+    if stride != 1 or in_channels != out_channels:
+        identity = b.conv2d(x, out_channels, kernel=1, stride=stride)
+        identity = b.batchnorm(identity)
+    h = b.add(h, identity)
+    return b.relu(h)
+
+
+def build_resnext50(batch_size: int = 1, image_size: int = 224,
+                    layers: Sequence[int] = (3, 4, 6, 3), groups: int = 32,
+                    base_width: int = 4, num_classes: int = 1000) -> Graph:
+    """ResNeXt-50 (32x4d) computation graph (Xie et al. / He et al., 2016)."""
+    b = GraphBuilder("resnext50")
+    x = b.input((batch_size, 3, image_size, image_size), name="image")
+    x = b.conv_bn_relu(x, 64, kernel=7, stride=2)
+    x = b.maxpool(x, kernel=3, stride=2, padding="same")
+    channels = 256
+    for stage, num_blocks in enumerate(layers):
+        width = groups * base_width * (2 ** stage)
+        for block in range(num_blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _resnext_block(b, x, width, channels, stride, groups)
+        channels *= 2
+    x = b.global_avgpool(x)
+    logits = b.linear(x, b.graph.nodes[x].output_spec.shape.dims[-1],
+                      num_classes, name="classifier")
+    return b.build([logits])
+
+
+def _basic_block(b: GraphBuilder, x: NodeId, out_channels: int, stride: int) -> NodeId:
+    identity = x
+    h = b.conv_bn_relu(x, out_channels, kernel=3, stride=stride)
+    h = b.conv2d(h, out_channels, kernel=3)
+    h = b.batchnorm(h)
+    in_channels = b.graph.nodes[x].output_spec.shape.dims[1]
+    if stride != 1 or in_channels != out_channels:
+        identity = b.conv2d(x, out_channels, kernel=1, stride=stride)
+        identity = b.batchnorm(identity)
+    h = b.add(h, identity)
+    return b.relu(h)
+
+
+def build_resnet18(batch_size: int = 1, image_size: int = 224,
+                   num_classes: int = 1000) -> Graph:
+    """ResNet-18 computation graph (He et al., 2016)."""
+    b = GraphBuilder("resnet18")
+    x = b.input((batch_size, 3, image_size, image_size), name="image")
+    x = b.conv_bn_relu(x, 64, kernel=7, stride=2)
+    x = b.maxpool(x, kernel=3, stride=2, padding="same")
+    for stage, out_channels in enumerate((64, 128, 256, 512)):
+        for block in range(2):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _basic_block(b, x, out_channels, stride)
+    x = b.global_avgpool(x)
+    logits = b.linear(x, 512, num_classes, name="classifier")
+    return b.build([logits])

@@ -1,0 +1,139 @@
+"""Transformer model-zoo graphs: BERT, ViT, DALL-E decoder, Transformer-Transducer.
+
+As with the convolutional zoo, these builders reproduce the operator
+composition and tensor shapes of the published architectures.  ``num_layers``
+defaults keep graphs a few hundred nodes so the pure-Python optimisers stay
+fast; the full published depths (12 for BERT-base, etc.) are reachable by
+passing larger values.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph, NodeId
+
+__all__ = ["build_bert", "build_vit", "build_dalle", "build_transformer_transducer"]
+
+
+def build_bert(batch_size: int = 1, seq_len: int = 128, hidden: int = 768,
+               num_heads: int = 12, num_layers: int = 4,
+               vocab_size: int = 30522) -> Graph:
+    """BERT encoder computation graph (Devlin et al., 2019).
+
+    Embedding lookup, ``num_layers`` pre-LN transformer encoder blocks and a
+    pooled classification head.
+    """
+    b = GraphBuilder("bert")
+    tokens = b.input((batch_size, seq_len), name="token_ids")
+    x = b.embedding(tokens, vocab_size, hidden, name="token_embedding")
+    pos = b.weight((batch_size, seq_len, hidden), name="position_embedding")
+    x = b.add(x, pos)
+    x = b.layernorm(x)
+    for layer in range(num_layers):
+        x = b.transformer_block(x, hidden, num_heads, seq_len,
+                                batch=batch_size, name=f"layer{layer}")
+    x = b.layernorm(x)
+    # Pooler: first-token slice followed by a dense + tanh
+    cls = b.slice(x, axis=1, start=0, end=1)
+    cls = b.reshape(cls, (batch_size, hidden))
+    pooled = b.linear(cls, hidden, hidden, name="pooler")
+    pooled = b.tanh(pooled)
+    return b.build([pooled])
+
+
+def build_vit(batch_size: int = 1, image_size: int = 224, patch_size: int = 16,
+              hidden: int = 768, num_heads: int = 12, num_layers: int = 4,
+              num_classes: int = 1000) -> Graph:
+    """Vision Transformer computation graph (ViT-Base style).
+
+    Patch embedding via a strided convolution, learned position embeddings,
+    transformer encoder blocks and a classification head.
+    """
+    b = GraphBuilder("vit")
+    num_patches = (image_size // patch_size) ** 2
+    x = b.input((batch_size, 3, image_size, image_size), name="image")
+    # Patch embedding: conv with kernel = stride = patch size.
+    x = b.conv2d(x, hidden, kernel=patch_size, stride=patch_size, padding="valid",
+                 name="patch_embed")
+    x = b.reshape(x, (batch_size, hidden, num_patches))
+    x = b.transpose(x, (0, 2, 1))
+    pos = b.weight((batch_size, num_patches, hidden), name="position_embedding")
+    x = b.add(x, pos)
+    for layer in range(num_layers):
+        x = b.transformer_block(x, hidden, num_heads, num_patches,
+                                batch=batch_size, name=f"layer{layer}")
+    x = b.layernorm(x)
+    x = b.reduce_mean(x, axis=1)
+    logits = b.linear(x, hidden, num_classes, name="classifier")
+    return b.build([logits])
+
+
+def build_dalle(batch_size: int = 1, text_len: int = 64, image_tokens: int = 256,
+                hidden: int = 512, num_heads: int = 8, num_layers: int = 4,
+                vocab_size: int = 16384) -> Graph:
+    """DALL-E style decoder-only transformer over text + image tokens.
+
+    The published model interleaves text and image token streams through a
+    single autoregressive decoder; we model the combined sequence with
+    separate text/image embeddings feeding shared decoder blocks.
+    """
+    b = GraphBuilder("dalle")
+    seq_len = text_len + image_tokens
+    text = b.input((batch_size, text_len), name="text_tokens")
+    image = b.input((batch_size, image_tokens), name="image_tokens")
+    text_emb = b.embedding(text, vocab_size, hidden, name="text_embedding")
+    image_emb = b.embedding(image, vocab_size, hidden, name="image_embedding")
+    x = b.concat([text_emb, image_emb], axis=1)
+    pos = b.weight((batch_size, seq_len, hidden), name="position_embedding")
+    x = b.add(x, pos)
+    for layer in range(num_layers):
+        x = b.transformer_block(x, hidden, num_heads, seq_len,
+                                batch=batch_size, name=f"decoder{layer}")
+    x = b.layernorm(x)
+    logits = b.linear(x, hidden, vocab_size, name="lm_head")
+    return b.build([logits])
+
+
+def build_transformer_transducer(batch_size: int = 1, audio_frames: int = 200,
+                                 label_len: int = 32, hidden: int = 512,
+                                 num_heads: int = 8, audio_layers: int = 3,
+                                 label_layers: int = 2,
+                                 vocab_size: int = 4096) -> Graph:
+    """Transformer-Transducer (T-T) computation graph (Zhang et al., 2020).
+
+    A transformer audio encoder, a transformer label encoder and a joint
+    network combining both streams, as used in streaming speech recognition.
+    """
+    b = GraphBuilder("transformer_transducer")
+    # Audio encoder: log-mel features projected into the model dimension.
+    audio = b.input((batch_size, audio_frames, 80), name="audio_features")
+    x = b.linear(audio, 80, hidden, name="audio_proj")
+    pos_a = b.weight((batch_size, audio_frames, hidden), name="audio_pos")
+    x = b.add(x, pos_a)
+    for layer in range(audio_layers):
+        x = b.transformer_block(x, hidden, num_heads, audio_frames,
+                                batch=batch_size, name=f"audio{layer}")
+    audio_enc = b.layernorm(x)
+
+    # Label encoder over the previously emitted tokens.
+    labels = b.input((batch_size, label_len), name="label_tokens")
+    y = b.embedding(labels, vocab_size, hidden, name="label_embedding")
+    pos_l = b.weight((batch_size, label_len, hidden), name="label_pos")
+    y = b.add(y, pos_l)
+    for layer in range(label_layers):
+        y = b.transformer_block(y, hidden, num_heads, label_len,
+                                batch=batch_size, name=f"label{layer}")
+    label_enc = b.layernorm(y)
+
+    # Joint network: project both encodings into a shared space, combine and
+    # emit vocabulary logits.  (The true joint op broadcasts across both time
+    # axes; we keep the projected tensors separate, which preserves the
+    # operator mix without creating a rank-5 tensor.)
+    audio_proj = b.linear(audio_enc, hidden, hidden // 2, name="joint_audio")
+    label_proj = b.linear(label_enc, hidden, hidden // 2, name="joint_label")
+    audio_vec = b.reduce_mean(audio_proj, axis=1)
+    label_vec = b.reduce_mean(label_proj, axis=1)
+    joint = b.add(audio_vec, label_vec)
+    joint = b.tanh(joint)
+    logits = b.linear(joint, hidden // 2, vocab_size, name="joint_head")
+    return b.build([logits])

@@ -1,0 +1,17 @@
+"""numpy autodiff engine, dense layers, GNN layers and optimisers."""
+
+from .tensor import (Tensor, as_tensor, concat, segment_max, segment_softmax,
+                     segment_sum, stack)
+from .layers import Linear, MLP, Module, Parameter
+from .optim import Adam, SGD, clip_grad_norm
+from .gnn import (BatchedGraphs, GATLayer, GlobalUpdateLayer,
+                  GraphEmbeddingNetwork, NodeUpdateLayer)
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "segment_sum", "segment_softmax",
+    "segment_max",
+    "Linear", "MLP", "Module", "Parameter",
+    "Adam", "SGD", "clip_grad_norm",
+    "BatchedGraphs", "GATLayer", "GlobalUpdateLayer", "GraphEmbeddingNetwork",
+    "NodeUpdateLayer",
+]

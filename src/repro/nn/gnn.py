@@ -1,0 +1,137 @@
+"""Graph neural network layers used by the X-RLflow agent.
+
+The architecture follows Section 3.4 of the paper exactly:
+
+1. a *node update layer* that combines each node's one-hot operator encoding
+   with the sum of its incoming edge (tensor-shape) attributes — this layer
+   learns to approximate per-kernel launch cost (Eq. 6),
+2. ``k`` *graph attention (GAT) layers* performing message passing over the
+   computation-graph topology (Eq. 7),
+3. a *global update layer* aggregating all node representations together with
+   the graph-level attribute into one embedding per graph (Eq. 8).
+
+All layers operate on a :class:`BatchedGraphs` structure so that the current
+graph and every rewrite candidate (the "meta-graph") are encoded in a single
+forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .layers import Linear, Module, Parameter
+from .tensor import Tensor, concat, segment_softmax, segment_sum
+
+__all__ = ["BatchedGraphs", "NodeUpdateLayer", "GATLayer", "GlobalUpdateLayer",
+           "GraphEmbeddingNetwork"]
+
+
+@dataclass
+class BatchedGraphs:
+    """A batch of graphs flattened into single node/edge arrays.
+
+    ``graph_ids[i]`` gives the graph index of node ``i``; ``edge_src`` /
+    ``edge_dst`` index into the flattened node array.
+    """
+
+    node_features: np.ndarray   # [N, F_node]
+    edge_features: np.ndarray   # [E, F_edge]
+    edge_src: np.ndarray        # [E]
+    edge_dst: np.ndarray        # [E]
+    graph_ids: np.ndarray       # [N]
+    num_graphs: int
+    global_features: np.ndarray  # [G, F_global]
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_features.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_src.shape[0])
+
+
+class NodeUpdateLayer(Module):
+    """Eq. 6: ``h'_i = sigma(W [sum_j e_j || h_i])``."""
+
+    def __init__(self, node_dim: int, edge_dim: int, out_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        self.linear = Linear(node_dim + edge_dim, out_dim, rng=rng)
+
+    def forward(self, batch: BatchedGraphs, nodes: Tensor) -> Tensor:
+        edge_feats = Tensor(batch.edge_features)
+        incoming = segment_sum(edge_feats, batch.edge_dst, batch.num_nodes)
+        combined = concat([incoming, nodes], axis=1)
+        return self.linear(combined).relu()
+
+
+class GATLayer(Module):
+    """Eq. 7: single-head graph attention layer with residual connection.
+
+    Attention coefficients are computed per edge from the transformed source
+    and destination node features and normalised (softmax) over each node's
+    incoming edges, following Velickovic et al. (2018).
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng(0)
+        self.transform = Linear(dim, dim, rng=rng)
+        self.attn_src = Parameter(rng.normal(0, 0.1, (dim, 1)), name="attn_src")
+        self.attn_dst = Parameter(rng.normal(0, 0.1, (dim, 1)), name="attn_dst")
+
+    def forward(self, batch: BatchedGraphs, nodes: Tensor) -> Tensor:
+        h = self.transform(nodes)                       # [N, D]
+        if batch.num_edges == 0:
+            return (nodes + h.relu()) * 0.5
+        src_scores = h @ self.attn_src                  # [N, 1]
+        dst_scores = h @ self.attn_dst                  # [N, 1]
+        edge_logits = (src_scores.gather_rows(batch.edge_src) +
+                       dst_scores.gather_rows(batch.edge_dst)).leaky_relu(0.2)
+        alpha = segment_softmax(edge_logits, batch.edge_dst, batch.num_nodes)
+        messages = h.gather_rows(batch.edge_src) * alpha
+        aggregated = segment_sum(messages, batch.edge_dst, batch.num_nodes)
+        # Residual connection keeps nodes with no incoming edges informative.
+        return (nodes + aggregated.relu()) * 0.5
+
+
+class GlobalUpdateLayer(Module):
+    """Eq. 8: per-graph readout ``g' = sigma([sum_N h || g] W)``."""
+
+    def __init__(self, node_dim: int, global_dim: int, out_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        self.linear = Linear(node_dim + global_dim, out_dim, rng=rng)
+
+    def forward(self, batch: BatchedGraphs, nodes: Tensor) -> Tensor:
+        pooled = segment_sum(nodes, batch.graph_ids, batch.num_graphs)
+        # Normalise by node count so large graphs do not dominate numerically.
+        counts = np.bincount(batch.graph_ids, minlength=batch.num_graphs).astype(np.float64)
+        counts = np.maximum(counts, 1.0).reshape(-1, 1)
+        pooled = pooled * Tensor(1.0 / counts)
+        combined = concat([pooled, Tensor(batch.global_features)], axis=1)
+        return self.linear(combined).tanh()
+
+
+class GraphEmbeddingNetwork(Module):
+    """The full encoder: node update, ``k`` GAT layers, global readout."""
+
+    def __init__(self, node_dim: int, edge_dim: int, global_dim: int = 1,
+                 hidden_dim: int = 64, embedding_dim: int = 64,
+                 num_gat_layers: int = 5, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.node_update = NodeUpdateLayer(node_dim, edge_dim, hidden_dim, rng=rng)
+        self.gat_layers = [GATLayer(hidden_dim, rng=rng) for _ in range(num_gat_layers)]
+        self.global_update = GlobalUpdateLayer(hidden_dim, global_dim, embedding_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+        self.embedding_dim = embedding_dim
+        self.num_gat_layers = num_gat_layers
+
+    def forward(self, batch: BatchedGraphs) -> Tensor:
+        """Return one embedding per graph in the batch: ``[num_graphs, embedding_dim]``."""
+        nodes = Tensor(batch.node_features)
+        nodes = self.node_update(batch, nodes)
+        for layer in self.gat_layers:
+            nodes = layer(batch, nodes)
+        return self.global_update(batch, nodes)

@@ -1,0 +1,104 @@
+"""Neural-network building blocks on top of the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, concat
+
+__all__ = ["Module", "Parameter", "Linear", "MLP"]
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class collecting parameters from attributes and sub-modules."""
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        seen = set()
+        for value in self.__dict__.values():
+            for p in _extract_params(value):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter index to value (for save/load)."""
+        return {str(i): p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state dict has {len(state)} entries, module has {len(params)} parameters")
+        for i, p in enumerate(params):
+            value = np.asarray(state[str(i)])
+            if value.shape != p.data.shape:
+                raise ValueError(f"parameter {i} shape mismatch: "
+                                 f"{value.shape} vs {p.data.shape}")
+            p.data = value.astype(np.float64)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+def _extract_params(value) -> Iterable[Parameter]:
+    if isinstance(value, Parameter):
+        yield value
+    elif isinstance(value, Module):
+        yield from value.parameters()
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from _extract_params(item)
+
+
+class Linear(Module):
+    """Dense layer ``y = x @ W + b`` with Glorot initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-scale, scale, (in_features, out_features)),
+                                name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with ReLU activations between hidden layers."""
+
+    def __init__(self, sizes: Sequence[int], activate_final: bool = False,
+                 rng: Optional[np.random.Generator] = None):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = rng or np.random.default_rng(0)
+        self.layers = [Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])]
+        self.activate_final = activate_final
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1 or self.activate_final:
+                x = x.relu()
+        return x

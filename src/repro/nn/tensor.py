@@ -1,0 +1,375 @@
+"""Minimal reverse-mode automatic differentiation over numpy arrays.
+
+The paper implements its agent in JAX; here a small tape-based autodiff
+engine provides just the operations the GNN encoder and the PPO heads need
+(dense algebra, elementwise nonlinearities, segment operations for message
+passing, and the reductions used by the PPO loss).  Everything is vectorised
+numpy — no Python loops over elements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "concat", "stack", "segment_sum",
+           "segment_softmax", "segment_max"]
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array plus gradient bookkeeping."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # -- basic protocol -----------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # -- graph construction ---------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        out = Tensor(data)
+        out.requires_grad = any(p.requires_grad for p in parents)
+        if out.requires_grad:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor (must be scalar unless grad given)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        # Topological order of the autodiff graph.
+        order: List[Tensor] = []
+        visited = set()
+
+        def visit(t: "Tensor") -> None:
+            if id(t) in visited or not t.requires_grad:
+                return
+            visited.add(id(t))
+            for p in t._parents:
+                visit(p)
+            order.append(t)
+
+        visit(self)
+        self._accumulate(grad)
+        for t in reversed(order):
+            if t._backward is not None and t.grad is not None:
+                t._backward(t.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- arithmetic ------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            self._accumulate(grad)
+            other._accumulate(grad)
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            self._accumulate(-grad)
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data ** 2))
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad):
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+        return Tensor._make(out_data, (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+        return Tensor._make(out_data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # -- elementwise nonlinearities -----------------------------------------------
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, slope * self.data)
+
+        def backward(grad):
+            self._accumulate(grad * np.where(mask, 1.0, slope))
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - out_data ** 2))
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad):
+            self._accumulate(grad * out_data * (1.0 - out_data))
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * out_data)
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad):
+            self._accumulate(grad / self.data)
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # -- reductions / shape ----------------------------------------------------------
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        expanded = self.data.max(axis=axis, keepdims=True)
+        mask = (self.data == expanded).astype(np.float64)
+        mask = mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(mask * g)
+        return Tensor._make(out_data, (self,), backward)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad):
+            self._accumulate(np.asarray(grad).reshape(original))
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes = axes or tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out_data = np.transpose(self.data, axes)
+
+        def backward(grad):
+            self._accumulate(np.transpose(np.asarray(grad), inverse))
+        return Tensor._make(out_data, (self,), backward)
+
+    def gather_rows(self, index: np.ndarray) -> "Tensor":
+        """Select rows ``self[index]`` (first-axis gather), differentiable."""
+        index = np.asarray(index, dtype=np.int64)
+        out_data = self.data[index]
+        n_rows = self.data.shape[0]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, np.asarray(grad))
+            self._accumulate(full)
+        return Tensor._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - as_tensor(self.data.max(axis=axis, keepdims=True))
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - as_tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            full[key] = np.asarray(grad)
+            self._accumulate(full)
+        return Tensor._make(out_data, (self,), backward)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Wrap raw data into a non-differentiable :class:`Tensor` if needed."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad):
+        splits = np.cumsum(sizes)[:-1]
+        for t, piece in zip(tensors, np.split(np.asarray(grad), splits, axis=axis)):
+            t._accumulate(piece)
+    return Tensor._make(out_data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stack along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        for i, t in enumerate(tensors):
+            t._accumulate(np.take(np.asarray(grad), i, axis=axis))
+    return Tensor._make(out_data, tensors, backward)
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` into ``num_segments`` buckets given by ``segment_ids``.
+
+    This is the aggregation primitive behind message passing: per-edge
+    messages are summed into their destination nodes.
+    """
+    values = as_tensor(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_data = np.zeros((num_segments,) + values.data.shape[1:])
+    np.add.at(out_data, segment_ids, values.data)
+
+    def backward(grad):
+        values._accumulate(np.asarray(grad)[segment_ids])
+    return Tensor._make(out_data, (values,), backward)
+
+
+def segment_max(values: np.ndarray, segment_ids: np.ndarray,
+                num_segments: int) -> np.ndarray:
+    """Non-differentiable per-segment maximum (used to stabilise softmax)."""
+    out = np.full((num_segments,) + values.shape[1:], -np.inf)
+    np.maximum.at(out, segment_ids, values)
+    out[~np.isfinite(out)] = 0.0
+    return out
+
+
+def segment_softmax(logits: Tensor, segment_ids: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Softmax of ``logits`` normalised within each segment.
+
+    Used by the GAT layer: attention coefficients are normalised over the
+    incoming edges of each destination node.
+    """
+    logits = as_tensor(logits)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    maxes = segment_max(logits.data, segment_ids, num_segments)
+    shifted = logits - Tensor(maxes[segment_ids])
+    exp = shifted.exp()
+    denom = segment_sum(exp, segment_ids, num_segments)
+    denom_per_edge = denom.gather_rows(segment_ids)
+    return exp / (denom_per_edge + 1e-12)

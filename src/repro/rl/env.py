@@ -1,0 +1,194 @@
+"""Gym-style environment wrapping the tensor-graph transformation process.
+
+The environment owns the current computation graph.  At every step it asks
+the rewrite substrate for all applicable candidates, exposes them (padded to
+a fixed action-space size plus a final No-Op action) as the observation, and
+applies the candidate selected by the agent.  The reward follows Eq. 2 of the
+paper: the end-to-end latency improvement relative to the initial latency,
+measured every ``feedback_interval`` steps (a small constant reward is paid
+on the intermediate steps to keep the agent exploring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cost.e2e import E2ESimulator
+from ..ir.graph import Graph
+from ..rules.base import Candidate, RuleSet
+from ..rules.rulesets import default_ruleset
+from ..nn.gnn import BatchedGraphs
+from .features import build_meta_graph
+
+__all__ = ["Observation", "StepResult", "GraphRewriteEnv"]
+
+#: Signature of a user-registered reward callback:
+#: ``f(previous_latency, current_latency, initial_latency) -> reward``.
+RewardFn = Callable[[float, float, float], float]
+
+
+def default_reward(previous_ms: float, current_ms: float, initial_ms: float) -> float:
+    """Eq. 2: percentage latency improvement relative to the initial graph."""
+    if initial_ms <= 0:
+        return 0.0
+    return (previous_ms - current_ms) / initial_ms * 100.0
+
+
+@dataclass
+class Observation:
+    """What the agent sees at each step."""
+
+    #: Current graph followed by each candidate graph, batched for the GNN.
+    meta_graph: BatchedGraphs
+    #: Boolean mask over the padded action space (size ``max_candidates + 1``).
+    #: The final entry is the always-valid No-Op action.
+    action_mask: np.ndarray
+    #: The candidates backing each valid action index.
+    candidates: List[Candidate] = field(default_factory=list)
+
+    @property
+    def num_actions(self) -> int:
+        return int(self.action_mask.shape[0])
+
+    @property
+    def noop_index(self) -> int:
+        return self.num_actions - 1
+
+
+@dataclass
+class StepResult:
+    observation: Observation
+    reward: float
+    done: bool
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class GraphRewriteEnv:
+    """Environment for one target DNN's transformation process."""
+
+    def __init__(self, graph: Graph,
+                 ruleset: Optional[RuleSet] = None,
+                 e2e: Optional[E2ESimulator] = None,
+                 feedback_interval: int = 5,
+                 step_reward: float = 0.1,
+                 max_candidates: int = 48,
+                 max_steps: int = 50,
+                 reward_fn: Optional[RewardFn] = None,
+                 seed: int = 0):
+        self.initial_graph = graph
+        self.ruleset = ruleset or default_ruleset()
+        self.e2e = e2e or E2ESimulator(seed=seed)
+        self.feedback_interval = int(feedback_interval)
+        self.step_reward = float(step_reward)
+        self.max_candidates = int(max_candidates)
+        self.max_steps = int(max_steps)
+        self.reward_fn = reward_fn or default_reward
+        self._rng = np.random.default_rng(seed)
+
+        # Episode state
+        self.current_graph: Graph = graph
+        self.step_count = 0
+        self.applied_rules: List[str] = []
+        self.initial_latency_ms = 0.0
+        self.last_measured_ms = 0.0
+        self.best_graph: Graph = graph
+        self.best_latency_ms = float("inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def action_space_size(self) -> int:
+        """Padded action-space size (candidates plus the No-Op action)."""
+        return self.max_candidates + 1
+
+    def set_graph(self, graph: Graph) -> None:
+        """Point the environment at a different target graph (e.g. for
+        shape-generalisation evaluation) without rebuilding it."""
+        self.initial_graph = graph
+
+    # ------------------------------------------------------------------
+    def reset(self) -> Observation:
+        """Start a new episode from the unoptimised graph."""
+        self.current_graph = self.initial_graph
+        self.step_count = 0
+        self.applied_rules = []
+        self.initial_latency_ms = self.e2e.latency_ms(self.current_graph)
+        self.last_measured_ms = self.initial_latency_ms
+        if self.initial_latency_ms < self.best_latency_ms:
+            self.best_graph = self.current_graph
+            self.best_latency_ms = self.initial_latency_ms
+        return self._observe()
+
+    def step(self, action: int) -> StepResult:
+        """Apply the selected candidate (or terminate on No-Op / invalid)."""
+        observation = self._last_observation
+        if observation is None:
+            raise RuntimeError("step() called before reset()")
+        noop = observation.noop_index
+        terminal_reward_needed = False
+
+        if action == noop or action >= len(observation.candidates) or \
+                not observation.action_mask[action]:
+            # No-Op (or an out-of-range action, treated as No-Op): terminate.
+            done = True
+            reward = self._measure_reward()
+        else:
+            candidate = observation.candidates[action]
+            self.current_graph = candidate.graph
+            self.applied_rules.append(candidate.rule_name)
+            self.step_count += 1
+            done = False
+            if self.step_count % self.feedback_interval == 0:
+                reward = self._measure_reward()
+            else:
+                reward = self.step_reward
+            if self.step_count >= self.max_steps:
+                done = True
+                terminal_reward_needed = True
+
+        next_obs = self._observe()
+        if not done and not next_obs.candidates:
+            # No more applicable rewrites: the transformation terminates.
+            done = True
+            terminal_reward_needed = True
+        if terminal_reward_needed:
+            reward += self._measure_reward()
+
+        latency = self.e2e.latency_ms(self.current_graph)
+        if latency < self.best_latency_ms:
+            self.best_graph = self.current_graph
+            self.best_latency_ms = latency
+
+        info = {
+            "latency_ms": latency,
+            "initial_latency_ms": self.initial_latency_ms,
+            "speedup": self.initial_latency_ms / max(latency, 1e-9),
+            "steps": float(self.step_count),
+            "num_candidates": float(len(next_obs.candidates)),
+        }
+        return StepResult(observation=next_obs, reward=reward, done=done, info=info)
+
+    # ------------------------------------------------------------------
+    def _measure_reward(self) -> float:
+        current = self.e2e.latency_ms(self.current_graph)
+        reward = self.reward_fn(self.last_measured_ms, current, self.initial_latency_ms)
+        self.last_measured_ms = current
+        return reward
+
+    def _observe(self) -> Observation:
+        candidates = self.ruleset.all_candidates(self.current_graph)
+        if len(candidates) > self.max_candidates:
+            # Keep a deterministic, diverse subset: preserve rule ordering but
+            # cap the total, mirroring the paper's fixed action-space padding.
+            candidates = candidates[: self.max_candidates]
+        mask = np.zeros(self.action_space_size, dtype=bool)
+        mask[: len(candidates)] = True
+        mask[-1] = True  # No-Op is always available
+        meta = build_meta_graph([self.current_graph] + [c.graph for c in candidates])
+        obs = Observation(meta_graph=meta, action_mask=mask, candidates=candidates)
+        self._last_observation = obs
+        return obs
+
+    _last_observation: Optional[Observation] = None

@@ -1,0 +1,102 @@
+"""Feature encoding of computation graphs for the GNN agent.
+
+Node attributes are a one-hot encoding of the operator type (the paper keeps
+a table of ~40 operators); edge attributes are the tensor shape padded to
+rank 4 and normalised by the constant ``M`` (4096 in the paper's Appendix A);
+the global attribute is initialised to zero and refined by the learnable
+global-update layer.
+
+The *meta-graph* stacks the current graph and every candidate graph into one
+:class:`~repro.nn.gnn.BatchedGraphs` so the whole state is encoded in a
+single GNN forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.ops import num_op_types, op_index
+from ..nn.gnn import BatchedGraphs
+
+__all__ = ["GraphFeatures", "encode_graph", "build_meta_graph",
+           "NODE_FEATURE_DIM", "EDGE_FEATURE_DIM", "GLOBAL_FEATURE_DIM"]
+
+#: Edge-attribute normalisation constant (Appendix A of the paper).
+DEFAULT_EDGE_NORM = 4096.0
+
+NODE_FEATURE_DIM = num_op_types()
+EDGE_FEATURE_DIM = 4
+GLOBAL_FEATURE_DIM = 1
+
+
+@dataclass
+class GraphFeatures:
+    """Feature arrays of a single graph."""
+
+    node_features: np.ndarray  # [N, NODE_FEATURE_DIM]
+    edge_features: np.ndarray  # [E, EDGE_FEATURE_DIM]
+    edge_src: np.ndarray       # [E]
+    edge_dst: np.ndarray       # [E]
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.node_features.shape[0])
+
+
+def encode_graph(graph: Graph, edge_norm: float = DEFAULT_EDGE_NORM) -> GraphFeatures:
+    """Encode one computation graph into node/edge feature arrays."""
+    order = graph.topological_order()
+    index = {nid: i for i, nid in enumerate(order)}
+    n = len(order)
+
+    node_features = np.zeros((n, NODE_FEATURE_DIM))
+    for nid, i in index.items():
+        node_features[i, op_index(graph.nodes[nid].op_type)] = 1.0
+
+    srcs: List[int] = []
+    dsts: List[int] = []
+    edge_feats: List[np.ndarray] = []
+    for nid in order:
+        for edge in graph.in_edges(nid):
+            srcs.append(index[edge.src])
+            dsts.append(index[edge.dst])
+            spec = graph.nodes[edge.src].outputs[edge.src_slot]
+            edge_feats.append(np.asarray(spec.shape.padded(4), dtype=np.float64) / edge_norm)
+    if edge_feats:
+        edge_features = np.stack(edge_feats)
+        edge_src = np.asarray(srcs, dtype=np.int64)
+        edge_dst = np.asarray(dsts, dtype=np.int64)
+    else:
+        edge_features = np.zeros((0, EDGE_FEATURE_DIM))
+        edge_src = np.zeros(0, dtype=np.int64)
+        edge_dst = np.zeros(0, dtype=np.int64)
+    return GraphFeatures(node_features, edge_features, edge_src, edge_dst)
+
+
+def build_meta_graph(graphs: Sequence[Graph],
+                     edge_norm: float = DEFAULT_EDGE_NORM) -> BatchedGraphs:
+    """Batch several graphs (current graph first, then candidates) together."""
+    node_blocks, edge_blocks = [], []
+    src_blocks, dst_blocks, graph_ids = [], [], []
+    offset = 0
+    for gid, graph in enumerate(graphs):
+        feats = encode_graph(graph, edge_norm)
+        node_blocks.append(feats.node_features)
+        edge_blocks.append(feats.edge_features)
+        src_blocks.append(feats.edge_src + offset)
+        dst_blocks.append(feats.edge_dst + offset)
+        graph_ids.append(np.full(feats.num_nodes, gid, dtype=np.int64))
+        offset += feats.num_nodes
+    return BatchedGraphs(
+        node_features=np.concatenate(node_blocks, axis=0),
+        edge_features=np.concatenate(edge_blocks, axis=0),
+        edge_src=np.concatenate(src_blocks),
+        edge_dst=np.concatenate(dst_blocks),
+        graph_ids=np.concatenate(graph_ids),
+        num_graphs=len(graphs),
+        global_features=np.zeros((len(graphs), GLOBAL_FEATURE_DIM)),
+    )

@@ -1,0 +1,215 @@
+"""The X-RLflow actor-critic agent and its PPO-clip update.
+
+Architecture (Figure 3 of the paper):
+
+* the meta-graph (current graph + all candidates) is encoded by the GNN into
+  one embedding per graph,
+* the *policy head* scores each candidate by looking at its embedding next to
+  the current graph's embedding (the No-Op action is scored as "keep the
+  current graph"), producing a categorical distribution after invalid-action
+  masking,
+* the *value head* estimates the state value from the current graph's
+  embedding and the mean candidate embedding.
+
+The update is the PPO clip objective (Eq. 3–5): policy surrogate + value MSE
++ entropy bonus, optimised end-to-end with Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.gnn import GraphEmbeddingNetwork
+from ..nn.layers import MLP, Module
+from ..nn.optim import Adam, clip_grad_norm
+from ..nn.tensor import Tensor, concat, stack
+from .buffer import RolloutBuffer
+from .env import Observation
+from .features import EDGE_FEATURE_DIM, GLOBAL_FEATURE_DIM, NODE_FEATURE_DIM
+
+__all__ = ["ActionDecision", "XRLflowAgent", "PPOUpdater"]
+
+_MASK_VALUE = -1e9
+
+
+@dataclass
+class ActionDecision:
+    """The agent's output for one observation."""
+
+    action: int
+    log_prob: float
+    value: float
+    probabilities: np.ndarray
+
+
+class XRLflowAgent(Module):
+    """GNN encoder + policy head + value head."""
+
+    def __init__(self, hidden_dim: int = 64, embedding_dim: int = 64,
+                 num_gat_layers: int = 5,
+                 head_sizes: Sequence[int] = (256, 64),
+                 seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.encoder = GraphEmbeddingNetwork(
+            node_dim=NODE_FEATURE_DIM, edge_dim=EDGE_FEATURE_DIM,
+            global_dim=GLOBAL_FEATURE_DIM, hidden_dim=hidden_dim,
+            embedding_dim=embedding_dim, num_gat_layers=num_gat_layers, seed=seed)
+        head_sizes = list(head_sizes)
+        self.policy_head = MLP([2 * embedding_dim] + head_sizes + [1], rng=rng)
+        self.value_head = MLP([2 * embedding_dim] + head_sizes + [1], rng=rng)
+        self.embedding_dim = embedding_dim
+        self._rng = np.random.default_rng(seed + 1)
+
+    # ------------------------------------------------------------------
+    def forward(self, observation: Observation) -> Tuple[Tensor, Tensor]:
+        """Return (masked logits over the padded action space, state value)."""
+        embeddings = self.encoder(observation.meta_graph)  # [1 + C, D]
+        num_graphs = observation.meta_graph.num_graphs
+        current = embeddings[0:1]                          # [1, D]
+        num_candidates = num_graphs - 1
+
+        rows = []
+        current_b = current.reshape(self.embedding_dim)
+        if num_candidates > 0:
+            candidate_emb = embeddings[1:num_graphs]
+            for i in range(num_candidates):
+                rows.append(concat([current_b, candidate_emb[i]], axis=0))
+        # The No-Op action is "stay on the current graph".
+        rows.append(concat([current_b, current_b], axis=0))
+        pair_matrix = stack(rows, axis=0)                   # [C + 1, 2D]
+        logits = self.policy_head(pair_matrix).reshape(len(rows))
+
+        # Pad to the fixed action-space size and apply the invalid-action mask.
+        mask = observation.action_mask
+        padded = np.full(mask.shape[0], _MASK_VALUE)
+        # Valid candidate logits occupy the first `num_candidates` slots and
+        # the final slot (No-Op).
+        logits_np_positions = list(range(num_candidates)) + [mask.shape[0] - 1]
+        pad_rows = []
+        for position in range(mask.shape[0]):
+            if position in logits_np_positions:
+                idx = logits_np_positions.index(position)
+                pad_rows.append(logits[idx:idx + 1])
+            else:
+                pad_rows.append(Tensor(np.array([_MASK_VALUE])))
+        masked_logits = concat(pad_rows, axis=0)
+        # Any candidate slot the environment marked invalid is masked too.
+        invalid = ~mask
+        if invalid.any():
+            masked_logits = masked_logits + Tensor(np.where(invalid, _MASK_VALUE, 0.0))
+
+        # Value estimate from the current graph and the mean candidate embedding.
+        if num_candidates > 0:
+            mean_candidate = embeddings[1:num_graphs].mean(axis=0)
+        else:
+            mean_candidate = current_b
+        value_input = concat([current_b, mean_candidate], axis=0).reshape(1, -1)
+        value = self.value_head(value_input).reshape(1)
+        return masked_logits, value
+
+    # ------------------------------------------------------------------
+    def act(self, observation: Observation, deterministic: bool = False) -> ActionDecision:
+        """Sample (or argmax) an action from the masked policy."""
+        logits, value = self.forward(observation)
+        probs = logits.softmax(axis=0).numpy()
+        probs = probs / probs.sum()
+        if deterministic:
+            action = int(np.argmax(probs))
+        else:
+            action = int(self._rng.choice(len(probs), p=probs))
+        log_prob = float(np.log(probs[action] + 1e-12))
+        return ActionDecision(action=action, log_prob=log_prob,
+                              value=float(value.numpy()[0]), probabilities=probs)
+
+    def evaluate_actions(self, observation: Observation, action: int
+                         ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Differentiable (log-prob, value, entropy) of ``action``."""
+        logits, value = self.forward(observation)
+        log_probs = logits.log_softmax(axis=0)
+        probs = log_probs.exp()
+        entropy = -(probs * log_probs).sum()
+        return log_probs[action:action + 1], value, entropy
+
+
+@dataclass
+class PPOUpdateStats:
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    grad_norm: float
+
+
+class PPOUpdater:
+    """PPO-clip optimiser for an :class:`XRLflowAgent`."""
+
+    def __init__(self, agent: XRLflowAgent,
+                 learning_rate: float = 5e-4,
+                 clip_epsilon: float = 0.2,
+                 value_coef: float = 0.5,
+                 entropy_coef: float = 0.01,
+                 epochs: int = 4,
+                 batch_size: int = 16,
+                 max_grad_norm: float = 0.5,
+                 seed: int = 0):
+        self.agent = agent
+        self.optimizer = Adam(agent.parameters(), lr=learning_rate)
+        self.clip_epsilon = float(clip_epsilon)
+        self.value_coef = float(value_coef)
+        self.entropy_coef = float(entropy_coef)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.max_grad_norm = float(max_grad_norm)
+        self._rng = np.random.default_rng(seed)
+
+    def update(self, buffer: RolloutBuffer) -> PPOUpdateStats:
+        """Run PPO epochs over the buffer and return averaged statistics."""
+        advantages, returns = buffer.finalise()
+        transitions = buffer.transitions
+        stats = {"policy": 0.0, "value": 0.0, "entropy": 0.0, "grad": 0.0}
+        updates = 0
+
+        for _ in range(self.epochs):
+            for batch_idx in buffer.minibatches(self.batch_size, self._rng):
+                self.optimizer.zero_grad()
+                losses = []
+                entropies = []
+                value_losses = []
+                for i in batch_idx:
+                    t = transitions[i]
+                    new_log_prob, value, entropy = self.agent.evaluate_actions(
+                        t.observation, t.action)
+                    ratio = (new_log_prob - t.log_prob).exp()
+                    adv = float(advantages[i])
+                    surrogate1 = ratio * adv
+                    surrogate2 = ratio.clip(1 - self.clip_epsilon,
+                                            1 + self.clip_epsilon) * adv
+                    # elementwise min of the two 1-element tensors
+                    take_first = float(surrogate1.numpy()[0]) <= float(surrogate2.numpy()[0])
+                    policy_loss = -(surrogate1 if take_first else surrogate2)
+                    value_loss = (value - float(returns[i])) ** 2
+                    losses.append(policy_loss)
+                    value_losses.append(value_loss)
+                    entropies.append(entropy)
+                n = len(batch_idx)
+                policy_term = sum(losses[1:], losses[0]) * (1.0 / n)
+                value_term = sum(value_losses[1:], value_losses[0]) * (1.0 / n)
+                entropy_term = sum(entropies[1:], entropies[0]) * (1.0 / n)
+                total = (policy_term + self.value_coef * value_term
+                         - self.entropy_coef * entropy_term)
+                total.backward()
+                grad_norm = clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+                self.optimizer.step()
+                stats["policy"] += float(policy_term.numpy().sum())
+                stats["value"] += float(value_term.numpy().sum())
+                stats["entropy"] += float(entropy_term.numpy().sum())
+                stats["grad"] += grad_norm
+                updates += 1
+
+        scale = 1.0 / max(updates, 1)
+        return PPOUpdateStats(policy_loss=stats["policy"] * scale,
+                              value_loss=stats["value"] * scale,
+                              entropy=stats["entropy"] * scale,
+                              grad_norm=stats["grad"] * scale)

@@ -1,0 +1,127 @@
+"""Training loop: roll out episodes, update the agent with PPO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..ir.graph import Graph
+from .buffer import RolloutBuffer, Transition
+from .env import GraphRewriteEnv
+from .ppo import PPOUpdater, XRLflowAgent
+
+__all__ = ["EpisodeRecord", "TrainingHistory", "PPOTrainer"]
+
+
+@dataclass
+class EpisodeRecord:
+    """Summary of one rollout episode."""
+
+    episode: int
+    total_reward: float
+    steps: int
+    final_latency_ms: float
+    speedup: float
+    applied_rules: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TrainingHistory:
+    """Everything produced over a training run."""
+
+    episodes: List[EpisodeRecord] = field(default_factory=list)
+    update_stats: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def best_episode(self) -> Optional[EpisodeRecord]:
+        if not self.episodes:
+            return None
+        return max(self.episodes, key=lambda e: e.speedup)
+
+    def mean_reward(self, last: int = 10) -> float:
+        if not self.episodes:
+            return 0.0
+        window = self.episodes[-last:]
+        return float(np.mean([e.total_reward for e in window]))
+
+
+class PPOTrainer:
+    """Collects on-policy rollouts from a :class:`GraphRewriteEnv` and applies
+    PPO updates every ``update_frequency`` episodes (Table 4's setting)."""
+
+    def __init__(self, env: GraphRewriteEnv, agent: XRLflowAgent,
+                 updater: PPOUpdater,
+                 update_frequency: int = 10,
+                 gamma: float = 0.99,
+                 gae_lambda: float = 0.95,
+                 log_fn: Optional[Callable[[str], None]] = None):
+        self.env = env
+        self.agent = agent
+        self.updater = updater
+        self.update_frequency = int(update_frequency)
+        self.buffer = RolloutBuffer(gamma=gamma, lam=gae_lambda)
+        self.history = TrainingHistory()
+        self.log_fn = log_fn
+
+    # ------------------------------------------------------------------
+    def run_episode(self, deterministic: bool = False,
+                    store: bool = True) -> EpisodeRecord:
+        """Roll out one episode; optionally store transitions for PPO."""
+        obs = self.env.reset()
+        total_reward = 0.0
+        done = False
+        last_info: Dict[str, float] = {}
+        while not done:
+            decision = self.agent.act(obs, deterministic=deterministic)
+            step = self.env.step(decision.action)
+            if store:
+                self.buffer.add(Transition(
+                    observation=obs, action=decision.action,
+                    log_prob=decision.log_prob, value=decision.value,
+                    reward=step.reward, done=step.done))
+            total_reward += step.reward
+            obs = step.observation
+            done = step.done
+            last_info = step.info
+        record = EpisodeRecord(
+            episode=len(self.history.episodes),
+            total_reward=total_reward,
+            steps=int(last_info.get("steps", 0)),
+            final_latency_ms=float(last_info.get("latency_ms", 0.0)),
+            speedup=float(last_info.get("speedup", 1.0)),
+            applied_rules=list(self.env.applied_rules),
+        )
+        self.history.episodes.append(record)
+        return record
+
+    def train(self, num_episodes: int) -> TrainingHistory:
+        """Train for ``num_episodes`` episodes, updating every
+        ``update_frequency`` of them."""
+        for episode in range(num_episodes):
+            record = self.run_episode(deterministic=False, store=True)
+            if self.log_fn:
+                self.log_fn(
+                    f"episode {record.episode}: reward={record.total_reward:.2f} "
+                    f"speedup={record.speedup:.3f} steps={record.steps}")
+            if (episode + 1) % self.update_frequency == 0 and len(self.buffer) > 1:
+                stats = self.updater.update(self.buffer)
+                self.history.update_stats.append({
+                    "policy_loss": stats.policy_loss,
+                    "value_loss": stats.value_loss,
+                    "entropy": stats.entropy,
+                    "grad_norm": stats.grad_norm,
+                })
+                self.buffer.clear()
+        # Flush any remaining transitions with one final update.
+        if len(self.buffer) > 1:
+            stats = self.updater.update(self.buffer)
+            self.history.update_stats.append({
+                "policy_loss": stats.policy_loss,
+                "value_loss": stats.value_loss,
+                "entropy": stats.entropy,
+                "grad_norm": stats.grad_norm,
+            })
+            self.buffer.clear()
+        return self.history

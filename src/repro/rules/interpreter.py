@@ -1,0 +1,286 @@
+"""Reference numerical interpreter for computation graphs.
+
+The interpreter executes a graph with concrete numpy tensors.  It is *not*
+used on the optimisation fast path — its job is verification: rewrite rules
+that claim to be fully equivalent are checked by executing the graph before
+and after the substitution on random inputs and comparing outputs, exactly
+the random-testing methodology TASO's rule generator uses.
+
+Weights and constants are materialised deterministically from the node name
+and shape, so a rewrite that merely re-wires existing weight nodes preserves
+their values, while a rewrite that fabricates new weight tensors is (by
+design) not exactly checkable and must be marked as such.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..ir.graph import Graph, NodeId
+from ..ir.ops import OpType
+from ..ir.tensor import TensorSpec
+
+__all__ = ["GraphInterpreter", "execute_graph", "graphs_equivalent"]
+
+
+def _seed_from(name: str, shape: Sequence[int]) -> int:
+    payload = f"{name}:{tuple(shape)}".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:4], "little")
+
+
+def _deterministic_tensor(name: str, shape: Sequence[int]) -> np.ndarray:
+    rng = np.random.default_rng(_seed_from(name, shape))
+    return rng.standard_normal(tuple(shape)).astype(np.float64) * 0.1
+
+
+class GraphInterpreter:
+    """Executes a :class:`~repro.ir.graph.Graph` on concrete numpy tensors."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, graph: Graph,
+            inputs: Optional[Mapping[str, np.ndarray]] = None
+            ) -> Dict[NodeId, np.ndarray]:
+        """Execute the graph and return a value for every node's output slot 0.
+
+        ``inputs`` maps Input-node names to arrays; missing inputs are filled
+        with deterministic random values derived from the node name.
+        """
+        inputs = dict(inputs or {})
+        values: Dict[NodeId, list[np.ndarray]] = {}
+        for nid in graph.topological_order():
+            node = graph.nodes[nid]
+            in_vals = [
+                values[e.src][e.src_slot] for e in graph.in_edges(nid)
+            ]
+            values[nid] = self._eval_node(node, in_vals, inputs)
+        return {nid: vals[0] for nid, vals in values.items()}
+
+    # ------------------------------------------------------------------
+    def _eval_node(self, node, in_vals, user_inputs) -> list[np.ndarray]:
+        op = node.op_type
+        attrs = node.attrs
+        shape = tuple(node.outputs[0].shape.dims) if node.outputs else ()
+
+        if op is OpType.INPUT:
+            if node.name in user_inputs:
+                return [np.asarray(user_inputs[node.name], dtype=np.float64)]
+            return [_deterministic_tensor("input:" + node.name, shape)]
+        if op in (OpType.WEIGHT, OpType.CONSTANT):
+            return [_deterministic_tensor("param:" + node.name, shape)]
+        if op is OpType.OUTPUT:
+            return [in_vals[0]]
+        if op is OpType.NOOP:
+            return [np.zeros(())]
+
+        if op is OpType.MATMUL or op is OpType.BATCH_MATMUL:
+            return [np.matmul(in_vals[0], in_vals[1])]
+        if op is OpType.FUSED_MATMUL_ADD:
+            return [np.matmul(in_vals[0], in_vals[1]) + in_vals[2]]
+
+        if op is OpType.ADD:
+            return [in_vals[0] + in_vals[1]]
+        if op is OpType.SUB:
+            return [in_vals[0] - in_vals[1]]
+        if op is OpType.MUL:
+            return [in_vals[0] * in_vals[1]]
+        if op is OpType.DIV:
+            return [in_vals[0] / (in_vals[1] + 1e-12)]
+
+        if op is OpType.RELU:
+            return [np.maximum(in_vals[0], 0.0)]
+        if op is OpType.GELU:
+            x = in_vals[0]
+            return [0.5 * x * (1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x ** 3)))]
+        if op is OpType.SIGMOID:
+            return [1.0 / (1.0 + np.exp(-in_vals[0]))]
+        if op is OpType.TANH:
+            return [np.tanh(in_vals[0])]
+        if op is OpType.EXP:
+            return [np.exp(in_vals[0])]
+        if op is OpType.SQRT:
+            return [np.sqrt(np.abs(in_vals[0]))]
+        if op is OpType.ERF:
+            from scipy.special import erf
+            return [erf(in_vals[0])]
+        if op in (OpType.IDENTITY, OpType.CAST, OpType.DROPOUT):
+            return [in_vals[0]]
+
+        if op is OpType.SOFTMAX:
+            axis = int(attrs.get("axis", -1))
+            x = in_vals[0] - in_vals[0].max(axis=axis, keepdims=True)
+            e = np.exp(x)
+            return [e / e.sum(axis=axis, keepdims=True)]
+        if op is OpType.BATCHNORM:
+            x = in_vals[0]
+            # Inference-mode affine transform along the channel axis with the
+            # (deterministic) scale/bias parameters when they are provided.
+            scale = in_vals[1] if len(in_vals) > 1 else np.ones(x.shape[1])
+            bias = in_vals[2] if len(in_vals) > 2 else np.zeros(x.shape[1])
+            view = (1, -1) + (1,) * (x.ndim - 2)
+            return [x * scale.reshape(view) + bias.reshape(view)]
+        if op is OpType.LAYERNORM:
+            x = in_vals[0]
+            mean = x.mean(axis=-1, keepdims=True)
+            var = x.var(axis=-1, keepdims=True)
+            normed = (x - mean) / np.sqrt(var + 1e-5)
+            if len(in_vals) > 1:
+                normed = normed * in_vals[1]
+            if len(in_vals) > 2:
+                normed = normed + in_vals[2]
+            return [normed]
+
+        if op is OpType.RESHAPE:
+            return [in_vals[0].reshape(tuple(attrs["shape"]))]
+        if op is OpType.TRANSPOSE:
+            perm = attrs.get("perm")
+            return [np.transpose(in_vals[0], perm)]
+        if op is OpType.CONCAT:
+            return [np.concatenate(in_vals, axis=int(attrs.get("axis", 0)))]
+        if op is OpType.SPLIT:
+            parts = int(attrs.get("parts", 2))
+            axis = int(attrs.get("axis", 0))
+            return list(np.split(in_vals[0], parts, axis=axis))
+        if op is OpType.SLICE:
+            axis = int(attrs.get("axis", 0))
+            start, end = int(attrs.get("start", 0)), attrs.get("end")
+            sl = [slice(None)] * in_vals[0].ndim
+            sl[axis] = slice(start, None if end is None else int(end))
+            return [in_vals[0][tuple(sl)]]
+        if op is OpType.SQUEEZE:
+            return [np.squeeze(in_vals[0], axis=int(attrs.get("axis", 0)))]
+        if op is OpType.UNSQUEEZE:
+            return [np.expand_dims(in_vals[0], axis=int(attrs.get("axis", 0)))]
+        if op is OpType.FLATTEN:
+            x = in_vals[0]
+            return [x.reshape(x.shape[0], -1)]
+        if op is OpType.PAD:
+            pads = attrs.get("pads")
+            if not pads:
+                return [in_vals[0]]
+            pad_width = [(pads[2 * i], pads[2 * i + 1]) for i in range(in_vals[0].ndim)]
+            return [np.pad(in_vals[0], pad_width)]
+
+        if op in (OpType.REDUCE_SUM, OpType.REDUCE_MEAN, OpType.REDUCE_MAX):
+            axis = int(attrs.get("axis", -1))
+            keep = bool(attrs.get("keepdims", False))
+            fn = {OpType.REDUCE_SUM: np.sum, OpType.REDUCE_MEAN: np.mean,
+                  OpType.REDUCE_MAX: np.max}[op]
+            return [fn(in_vals[0], axis=axis, keepdims=keep)]
+
+        if op in (OpType.MAXPOOL2D, OpType.AVGPOOL2D, OpType.GLOBAL_AVGPOOL):
+            return [self._eval_pool(op, in_vals[0], attrs, shape)]
+
+        if op in (OpType.CONV2D, OpType.GROUP_CONV2D, OpType.DEPTHWISE_CONV2D,
+                  OpType.ENLARGE_CONV, OpType.FUSED_CONV_BN,
+                  OpType.FUSED_CONV_RELU, OpType.FUSED_CONV_BN_RELU):
+            out = self._eval_conv(op, in_vals, attrs, shape)
+            return [out]
+
+        if op in (OpType.EMBEDDING, OpType.GATHER):
+            table, indices = in_vals[0], in_vals[1]
+            idx = np.clip(np.abs(indices).astype(int), 0, table.shape[0] - 1)
+            return [table[idx]]
+
+        raise NotImplementedError(f"interpreter missing op {op.value}")
+
+    # ------------------------------------------------------------------
+    def _eval_pool(self, op, x, attrs, out_shape) -> np.ndarray:
+        if op is OpType.GLOBAL_AVGPOOL:
+            return x.mean(axis=(2, 3))
+        kernel = int(attrs.get("kernel", 2))
+        stride = int(attrs.get("stride", kernel))
+        n, c, oh, ow = out_shape
+        out = np.zeros((n, c, oh, ow))
+        for i in range(oh):
+            for j in range(ow):
+                hs, ws = i * stride, j * stride
+                window = x[:, :, hs:hs + kernel, ws:ws + kernel]
+                if window.size == 0:
+                    continue
+                if op is OpType.MAXPOOL2D:
+                    out[:, :, i, j] = window.max(axis=(2, 3))
+                else:
+                    out[:, :, i, j] = window.mean(axis=(2, 3))
+        return out
+
+    def _eval_conv(self, op, in_vals, attrs, out_shape) -> np.ndarray:
+        x, w = in_vals[0], in_vals[1]
+        n, c_out, oh, ow = out_shape
+        stride = int(attrs.get("stride", 1))
+        padding = attrs.get("padding", "same")
+        kh, kw = w.shape[2], w.shape[3]
+        groups = int(attrs.get("groups", 1))
+        if op is OpType.DEPTHWISE_CONV2D:
+            groups = x.shape[1]
+        if padding == "same":
+            pad_h = max((oh - 1) * stride + kh - x.shape[2], 0)
+            pad_w = max((ow - 1) * stride + kw - x.shape[3], 0)
+            x = np.pad(x, ((0, 0), (0, 0),
+                           (pad_h // 2, pad_h - pad_h // 2),
+                           (pad_w // 2, pad_w - pad_w // 2)))
+        out = np.zeros((n, c_out, oh, ow))
+        cin_per_group = x.shape[1] // groups
+        cout_per_group = c_out // groups
+        for g in range(groups):
+            xg = x[:, g * cin_per_group:(g + 1) * cin_per_group]
+            wg = w[g * cout_per_group:(g + 1) * cout_per_group]
+            for i in range(oh):
+                for j in range(ow):
+                    hs, ws = i * stride, j * stride
+                    patch = xg[:, :, hs:hs + kh, ws:ws + kw]
+                    out[:, g * cout_per_group:(g + 1) * cout_per_group, i, j] = (
+                        np.tensordot(patch, wg, axes=([1, 2, 3], [1, 2, 3]))
+                    )
+        if op in (OpType.FUSED_CONV_BN, OpType.FUSED_CONV_BN_RELU) and len(in_vals) > 2:
+            scale = in_vals[2].reshape(1, -1, 1, 1)
+            out = out * scale
+            if len(in_vals) > 3:
+                out = out + in_vals[3].reshape(1, -1, 1, 1)
+        if op in (OpType.FUSED_CONV_RELU, OpType.FUSED_CONV_BN_RELU):
+            out = np.maximum(out, 0.0)
+        return out
+
+
+def execute_graph(graph: Graph,
+                  inputs: Optional[Mapping[str, np.ndarray]] = None
+                  ) -> Dict[str, np.ndarray]:
+    """Execute ``graph`` and return values of its sink nodes keyed by name."""
+    interp = GraphInterpreter()
+    values = interp.run(graph, inputs)
+    return {graph.nodes[nid].name: values[nid] for nid in graph.sink_nodes()}
+
+
+def graphs_equivalent(before: Graph, after: Graph, atol: float = 1e-6,
+                      trials: int = 2) -> bool:
+    """Random-testing equivalence check between two graphs.
+
+    The graphs must expose the same Input-node names.  Output tensors are
+    compared pairwise in sink order (after dropping zero-size differences in
+    ordering by sorting on node name).
+    """
+    interp = GraphInterpreter()
+    input_names = sorted(before.nodes[nid].name for nid in before.input_nodes())
+    if sorted(after.nodes[nid].name for nid in after.input_nodes()) != input_names:
+        return False
+    for trial in range(trials):
+        rng = np.random.default_rng(1234 + trial)
+        feeds = {}
+        for nid in before.input_nodes():
+            node = before.nodes[nid]
+            feeds[node.name] = rng.standard_normal(tuple(node.output_spec.shape.dims)) * 0.1
+        out_a = execute_graph(before, feeds)
+        out_b = execute_graph(after, feeds)
+        vals_a = [out_a[k] for k in sorted(out_a)]
+        vals_b = [out_b[k] for k in sorted(out_b)]
+        if len(vals_a) != len(vals_b):
+            return False
+        for a, b in zip(vals_a, vals_b):
+            if a.shape != b.shape or not np.allclose(a, b, atol=atol, rtol=1e-5):
+                return False
+    return True

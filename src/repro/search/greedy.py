@@ -1,0 +1,136 @@
+"""TASO-style cost-based backtracking search.
+
+TASO's optimiser maintains a priority queue of candidate graphs ordered by
+cost-model estimate.  At every step it pops the cheapest graph, generates all
+rewrite candidates, and enqueues those whose estimated cost stays within
+``alpha`` times the best cost seen so far (``alpha = 1.05`` in the artifact).
+The search stops when the queue is exhausted or the iteration budget runs
+out, and returns the graph with the lowest *cost-model* estimate.
+
+Because the objective is the cost model — not the true end-to-end latency —
+the returned graph can be worse than the input when the cost model is
+misleading, which is exactly what the paper observes on SqueezeNet.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from ..cost.cost_model import CostModel
+from ..cost.e2e import E2ESimulator
+from ..ir.graph import Graph
+from ..rules.base import RuleSet
+from ..rules.rulesets import default_ruleset
+from .result import SearchResult, timed
+
+__all__ = ["TASOOptimizer", "GreedyOptimizer"]
+
+
+class TASOOptimizer:
+    """Cost-model-driven backtracking search over rewrite candidates.
+
+    Parameters
+    ----------
+    ruleset:
+        Rewrite rules to search over (defaults to the curated set).
+    cost_model:
+        The optimisation objective.  TASO ranks candidates with its
+        sum-of-operators cost model.
+    e2e:
+        The end-to-end simulator used only for *reporting* true latency of
+        the initial and final graphs (TASO itself never consults it).
+    alpha:
+        Backtracking tolerance: candidates up to ``alpha`` times the current
+        best estimate are kept in the queue.
+    max_iterations:
+        Upper bound on the number of queue pops (the "budget" knob the paper
+        mentions — increasing it rarely helps but costs time).
+    queue_capacity:
+        Maximum number of graphs kept in the queue at any time.
+    """
+
+    name = "taso"
+
+    def __init__(self, ruleset: Optional[RuleSet] = None,
+                 cost_model: Optional[CostModel] = None,
+                 e2e: Optional[E2ESimulator] = None,
+                 alpha: float = 1.05,
+                 max_iterations: int = 100,
+                 queue_capacity: int = 200):
+        self.ruleset = ruleset or default_ruleset()
+        self.cost_model = cost_model or CostModel()
+        self.e2e = e2e or E2ESimulator()
+        self.alpha = float(alpha)
+        self.max_iterations = int(max_iterations)
+        self.queue_capacity = int(queue_capacity)
+
+    # ------------------------------------------------------------------
+    def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
+        """Run the backtracking search and return the best graph found."""
+        with timed() as elapsed:
+            initial_cost = self.cost_model.estimate(graph)
+            best_graph, best_cost = graph, initial_cost
+            best_rules: List[str] = []
+
+            counter = itertools.count()  # tie-breaker for the heap
+            heap: List[Tuple[float, int, Graph, List[str]]] = [
+                (initial_cost, next(counter), graph, [])
+            ]
+            seen = {graph.structural_hash()}
+            iterations = 0
+            candidates_evaluated = 0
+
+            while heap and iterations < self.max_iterations:
+                iterations += 1
+                cost, _, current, applied = heapq.heappop(heap)
+                if cost > self.alpha * best_cost:
+                    continue
+                for candidate in self.ruleset.all_candidates(current):
+                    candidates_evaluated += 1
+                    cand_hash = candidate.graph.structural_hash()
+                    if cand_hash in seen:
+                        continue
+                    seen.add(cand_hash)
+                    cand_cost = self.cost_model.estimate(candidate.graph)
+                    cand_rules = applied + [candidate.rule_name]
+                    if cand_cost < best_cost:
+                        best_graph, best_cost = candidate.graph, cand_cost
+                        best_rules = cand_rules
+                    if cand_cost <= self.alpha * best_cost and len(heap) < self.queue_capacity:
+                        heapq.heappush(heap, (cand_cost, next(counter),
+                                              candidate.graph, cand_rules))
+
+            result = SearchResult(
+                optimiser=self.name,
+                model=model_name or graph.name,
+                initial_graph=graph,
+                final_graph=best_graph,
+                initial_latency_ms=self.e2e.latency_ms(graph),
+                final_latency_ms=self.e2e.latency_ms(best_graph),
+                initial_cost_ms=initial_cost,
+                final_cost_ms=best_cost,
+                optimisation_time_s=elapsed(),
+                applied_rules=best_rules,
+                stats={
+                    "iterations": float(iterations),
+                    "candidates_evaluated": float(candidates_evaluated),
+                    "graphs_seen": float(len(seen)),
+                },
+            )
+        return result
+
+
+class GreedyOptimizer(TASOOptimizer):
+    """Pure greedy hill-climbing: ``alpha = 1`` (no tolerance, no backtracking).
+
+    Included as an ablation of how much TASO's backtracking tolerance buys.
+    """
+
+    name = "greedy"
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("alpha", 1.0)
+        kwargs.setdefault("queue_capacity", 1)
+        super().__init__(**kwargs)

@@ -1,0 +1,72 @@
+"""Random-walk baseline: apply uniformly random rewrites for a fixed horizon.
+
+Used as a sanity baseline in ablation benchmarks — it shares the RL agent's
+action space (one candidate per step, E2E-evaluated at the end) but has no
+learning, so it isolates how much of X-RLflow's gain comes from learning
+versus from merely being allowed to take non-greedy steps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cost.cost_model import CostModel
+from ..cost.e2e import E2ESimulator
+from ..ir.graph import Graph
+from ..rules.base import RuleSet
+from ..rules.rulesets import default_ruleset
+from .result import SearchResult, timed
+
+__all__ = ["RandomSearchOptimizer"]
+
+
+class RandomSearchOptimizer:
+    """Repeated random rewrite walks, keeping the best end graph seen."""
+
+    name = "random"
+
+    def __init__(self, ruleset: Optional[RuleSet] = None,
+                 e2e: Optional[E2ESimulator] = None,
+                 cost_model: Optional[CostModel] = None,
+                 num_walks: int = 5,
+                 horizon: int = 30,
+                 seed: int = 0):
+        self.ruleset = ruleset or default_ruleset()
+        self.e2e = e2e or E2ESimulator()
+        self.cost_model = cost_model or CostModel()
+        self.num_walks = int(num_walks)
+        self.horizon = int(horizon)
+        self._rng = np.random.default_rng(seed)
+
+    def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
+        with timed() as elapsed:
+            initial_latency = self.e2e.latency_ms(graph)
+            best_graph, best_latency, best_rules = graph, initial_latency, []
+            steps_total = 0
+            for _ in range(self.num_walks):
+                current, applied = graph, []
+                for _ in range(self.horizon):
+                    candidates = self.ruleset.all_candidates(current)
+                    if not candidates:
+                        break
+                    choice = candidates[int(self._rng.integers(len(candidates)))]
+                    current, applied = choice.graph, applied + [choice.rule_name]
+                    steps_total += 1
+                latency = self.e2e.latency_ms(current)
+                if latency < best_latency:
+                    best_graph, best_latency, best_rules = current, latency, applied
+            return SearchResult(
+                optimiser=self.name,
+                model=model_name or graph.name,
+                initial_graph=graph,
+                final_graph=best_graph,
+                initial_latency_ms=initial_latency,
+                final_latency_ms=best_latency,
+                initial_cost_ms=self.cost_model.estimate(graph),
+                final_cost_ms=self.cost_model.estimate(best_graph),
+                optimisation_time_s=elapsed(),
+                applied_rules=best_rules,
+                stats={"steps": float(steps_total), "walks": float(self.num_walks)},
+            )

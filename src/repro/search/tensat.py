@@ -1,0 +1,70 @@
+"""Tensat-style equality-saturation optimiser (baseline for Figure 8)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cost.cost_model import CostModel
+from ..cost.e2e import E2ESimulator
+from ..ir.graph import Graph
+from ..rules.base import RuleSet
+from ..rules.rulesets import default_ruleset
+from .egraph import GraphSpace
+from .result import SearchResult, timed
+
+__all__ = ["TensatOptimizer"]
+
+
+class TensatOptimizer:
+    """Grow a bounded rewrite space, then extract the cheapest graph.
+
+    Mirrors Tensat's published defaults: a node budget (10k nodes in the
+    artifact), an iteration budget, and the multi-pattern application limit
+    ``k`` (1 by default) that caps how many rounds the combinatorially
+    explosive merge rules participate in.  Extraction uses the per-node cost
+    model — an end-to-end latency signal cannot be used for extraction, which
+    is one of the limitations the paper discusses.
+    """
+
+    name = "tensat"
+
+    def __init__(self, ruleset: Optional[RuleSet] = None,
+                 cost_model: Optional[CostModel] = None,
+                 e2e: Optional[E2ESimulator] = None,
+                 node_limit: int = 20000,
+                 round_limit: int = 6,
+                 multi_pattern_rounds: int = 1,
+                 per_round_cap: int = 150):
+        self.ruleset = ruleset or default_ruleset()
+        self.cost_model = cost_model or CostModel()
+        self.e2e = e2e or E2ESimulator()
+        self.space = GraphSpace(self.ruleset, node_limit=node_limit,
+                                round_limit=round_limit,
+                                multi_pattern_rounds=multi_pattern_rounds,
+                                per_round_cap=per_round_cap)
+
+    def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
+        with timed() as elapsed:
+            population, stats = self.space.explore(graph)
+            best_graph, best_rules, best_cost = self.space.extract(
+                population, self.cost_model)
+            result = SearchResult(
+                optimiser=self.name,
+                model=model_name or graph.name,
+                initial_graph=graph,
+                final_graph=best_graph,
+                initial_latency_ms=self.e2e.latency_ms(graph),
+                final_latency_ms=self.e2e.latency_ms(best_graph),
+                initial_cost_ms=self.cost_model.estimate(graph),
+                final_cost_ms=best_cost,
+                optimisation_time_s=elapsed(),
+                applied_rules=best_rules,
+                stats={
+                    "rounds": float(stats.rounds),
+                    "graphs_explored": float(stats.graphs_explored),
+                    "total_nodes": float(stats.total_nodes),
+                    "saturated": float(stats.saturated),
+                    "node_budget_hit": float(stats.node_budget_hit),
+                },
+            )
+        return result

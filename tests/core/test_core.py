@@ -1,0 +1,119 @@
+"""Tests for the X-RLflow public API: config, optimiser, generalisation."""
+
+import numpy as np
+import pytest
+
+from repro import XRLflow, XRLflowConfig
+from repro.core import PAPER_TABLE4, ShapeVariant, evaluate_generalisation
+from repro.ir import GraphBuilder
+from repro.models import build_model
+
+
+def tiny_transformer(**overrides):
+    kwargs = dict(num_layers=1, seq_len=16, hidden=32, num_heads=2, vocab_size=64)
+    kwargs.update(overrides)
+    return build_model("bert", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return XRLflowConfig.fast(num_episodes=3, max_steps=6, max_candidates=12,
+                              update_frequency=2, num_gat_layers=1,
+                              hidden_dim=16, embedding_dim=16,
+                              mlp_head_sizes=(16,), eval_episodes=1)
+
+
+class TestConfig:
+    def test_defaults_match_paper_table4(self):
+        cfg = XRLflowConfig.paper_defaults()
+        assert cfg.learning_rate == PAPER_TABLE4["learning_rate"]
+        assert cfg.value_loss_coef == PAPER_TABLE4["value_loss_coef"]
+        assert cfg.entropy_loss_coef == PAPER_TABLE4["entropy_loss_coef"]
+        assert cfg.edge_attr_norm == PAPER_TABLE4["edge_attr_norm"]
+        assert cfg.num_gat_layers == PAPER_TABLE4["num_gat_layers"]
+        assert cfg.update_frequency == PAPER_TABLE4["update_frequency"]
+        assert cfg.feedback_interval == PAPER_TABLE4["feedback_interval"]
+        assert tuple(cfg.mlp_head_sizes) == tuple(PAPER_TABLE4["mlp_head_sizes"])
+        assert cfg.batch_size == PAPER_TABLE4["batch_size"]
+
+    def test_fast_overrides(self):
+        cfg = XRLflowConfig.fast(num_episodes=99)
+        assert cfg.num_episodes == 99
+        cfg.validate()
+
+    def test_validation_rejects_bad_values(self):
+        for field, value in [("learning_rate", -1.0), ("clip_epsilon", 2.0),
+                             ("feedback_interval", 0), ("num_gat_layers", 0),
+                             ("max_candidates", 0), ("num_episodes", 0)]:
+            cfg = XRLflowConfig()
+            setattr(cfg, field, value)
+            with pytest.raises(ValueError):
+                cfg.validate()
+
+    def test_to_dict_round_trips_keys(self):
+        d = XRLflowConfig().to_dict()
+        assert "learning_rate" in d and "max_candidates" in d
+
+
+class TestXRLflow:
+    def test_optimise_returns_valid_result(self, tiny_config):
+        graph = tiny_transformer()
+        result = XRLflow(tiny_config).optimise(graph, "tiny-bert")
+        result.final_graph.validate()
+        assert result.optimiser == "xrlflow"
+        assert result.final_latency_ms <= result.initial_latency_ms + 1e-9
+        assert result.stats["episodes_trained"] == tiny_config.num_episodes
+
+    def test_training_history_available(self, tiny_config):
+        opt = XRLflow(tiny_config)
+        graph = tiny_transformer()
+        history = opt.train(graph, num_episodes=2)
+        assert len(history.episodes) == 2
+
+    def test_optimise_without_training_requires_agent(self, tiny_config):
+        opt = XRLflow(tiny_config)
+        graph = tiny_transformer()
+        # train=False but no agent yet: optimise() trains automatically.
+        result = opt.optimise(graph, train=False)
+        assert result.final_graph is not None
+
+    def test_inference_only_reuses_trained_agent(self, tiny_config):
+        opt = XRLflow(tiny_config)
+        opt.train(tiny_transformer(), num_episodes=2)
+        result = opt.optimise(tiny_transformer(seq_len=24), "bert-24", train=False)
+        assert result.stats["train_time_s"] == 0.0
+        assert result.final_latency_ms <= result.initial_latency_ms + 1e-9
+
+    def test_save_and_load_agent(self, tiny_config, tmp_path):
+        opt = XRLflow(tiny_config)
+        opt.train(tiny_transformer(), num_episodes=2)
+        path = str(tmp_path / "agent.npz")
+        opt.save_agent(path)
+        other = XRLflow(tiny_config)
+        other.load_agent(path)
+        for a, b in zip(opt.agent.parameters(), other.agent.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_save_without_training_fails(self, tiny_config, tmp_path):
+        with pytest.raises(RuntimeError):
+            XRLflow(tiny_config).save_agent(str(tmp_path / "agent.npz"))
+
+
+class TestGeneralisation:
+    def test_requires_exactly_one_training_shape(self, tiny_config):
+        variants = [ShapeVariant("a", {"seq_len": 16}),
+                    ShapeVariant("b", {"seq_len": 24})]
+        with pytest.raises(ValueError):
+            evaluate_generalisation(tiny_transformer, variants, tiny_config)
+
+    def test_generalisation_report(self, tiny_config):
+        variants = [
+            ShapeVariant("seq16", {"seq_len": 16}, is_training_shape=True),
+            ShapeVariant("seq24", {"seq_len": 24}),
+        ]
+        report = evaluate_generalisation(tiny_transformer, variants, tiny_config,
+                                         model_name="tiny-bert")
+        assert len(report.results) == 2
+        speedups = report.speedups()
+        assert all(s >= 1.0 - 1e-9 for s in speedups.values())
+        assert "tiny-bert" in report.summary()

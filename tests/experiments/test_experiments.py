@@ -1,0 +1,74 @@
+"""Tests for the experiment harness (fast, reduced-size configurations)."""
+
+import pytest
+
+from repro.experiments import (ExperimentReport, benchmark_config,
+                               build_small_model, format_table, run_figure4,
+                               run_figure8, run_table1, run_table2, run_table3,
+                               optimise_suite, small_model_kwargs)
+from repro.models import PAPER_EVAL_MODELS
+
+
+@pytest.fixture(scope="module")
+def tiny_rl_config():
+    return benchmark_config(num_episodes=2, max_steps=6, max_candidates=12,
+                            update_frequency=2, num_gat_layers=1,
+                            hidden_dim=16, embedding_dim=16,
+                            mlp_head_sizes=(16,), eval_episodes=1)
+
+
+class TestReportInfrastructure:
+    def test_report_columns_and_formatting(self):
+        report = ExperimentReport("X", "demo")
+        report.add("a", one=1.0, two=2.0)
+        report.add("b", one=3.0)
+        assert report.column("one") == {"a": 1.0, "b": 3.0}
+        text = format_table(report)
+        assert "X" in text and "one" in text and "a" in text
+
+    def test_empty_report(self):
+        assert "(no rows)" in format_table(ExperimentReport("Y", "empty"))
+
+    def test_small_models_build(self):
+        for name in PAPER_EVAL_MODELS:
+            graph = build_small_model(name)
+            graph.validate()
+            assert isinstance(small_model_kwargs(name), dict)
+
+
+class TestTables:
+    def test_table1_shape(self):
+        report = run_table1(models=["bert", "squeezenet"])
+        diffs = report.column("diff_percent")
+        assert set(diffs) == {"bert", "squeezenet"}
+        # The paper reports discrepancies between roughly 5% and 24%.
+        assert all(1.0 <= d <= 35.0 for d in diffs.values())
+
+    def test_table2_crossover(self):
+        report = run_table2(max_iterations=15)
+        pet = report.column("pet_ms")
+        taso = report.column("taso_ms")
+        assert pet["resnet18"] < taso["resnet18"]
+
+    def test_table3_complexity_ordering(self):
+        report = run_table3(models=["inception_v3", "resnext50", "bert"])
+        complexity = report.column("complexity")
+        # InceptionV3 offers the most rewrite opportunities (as in the paper).
+        assert complexity["inception_v3"] > complexity["resnext50"]
+
+
+class TestFigures:
+    def test_figure4_and_6_from_shared_suite(self, tiny_rl_config):
+        results = optimise_suite(models=["squeezenet"], config=tiny_rl_config,
+                                 taso_iterations=10)
+        fig4 = run_figure4(results=results)
+        fig6 = __import__("repro.experiments", fromlist=["run_figure6"]).run_figure6(
+            results=results)
+        xrl = fig4.column("xrlflow_speedup_pct")["squeezenet"]
+        taso = fig4.column("taso_speedup_pct")["squeezenet"]
+        assert xrl >= -1e-6 and taso >= -1e-6
+        assert fig6.column("taso_seconds")["squeezenet"] > 0
+
+    def test_figure8_runs(self, tiny_rl_config):
+        report = run_figure8(models=["bert"], config=tiny_rl_config, tensat_rounds=2)
+        assert "bert" in report.column("xrlflow_speedup_pct")

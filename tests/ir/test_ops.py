@@ -1,0 +1,137 @@
+"""Tests for operator signatures and shape inference."""
+
+import pytest
+
+from repro.ir.ops import (OP_REGISTRY, OpType, infer_output_spec, num_op_types,
+                          op_index)
+from repro.ir.tensor import TensorShape, TensorSpec, make_spec
+
+
+def spec(*dims, constant=False):
+    return make_spec(*dims, constant=constant)
+
+
+class TestRegistry:
+    def test_all_ops_registered(self):
+        assert set(OP_REGISTRY) == set(OpType)
+
+    def test_op_index_is_stable_and_unique(self):
+        indices = [op_index(op) for op in OpType]
+        assert sorted(indices) == list(range(num_op_types()))
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            OP_REGISTRY[OpType.MATMUL].validate_arity(3)
+        OP_REGISTRY[OpType.MATMUL].validate_arity(2)
+
+
+class TestShapeInference:
+    def test_matmul(self):
+        out = infer_output_spec(OpType.MATMUL, [spec(4, 8), spec(8, 16)])
+        assert out.shape.dims == (4, 16)
+
+    def test_matmul_batched(self):
+        out = infer_output_spec(OpType.BATCH_MATMUL, [spec(2, 4, 8), spec(2, 8, 3)])
+        assert out.shape.dims == (2, 4, 3)
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.MATMUL, [spec(4, 8), spec(9, 16)])
+
+    def test_conv2d_same_padding(self):
+        out = infer_output_spec(OpType.CONV2D, [spec(1, 3, 32, 32), spec(8, 3, 3, 3)],
+                                {"stride": 1, "padding": "same"})
+        assert out.shape.dims == (1, 8, 32, 32)
+
+    def test_conv2d_stride_two(self):
+        out = infer_output_spec(OpType.CONV2D, [spec(1, 3, 32, 32), spec(8, 3, 3, 3)],
+                                {"stride": 2, "padding": "same"})
+        assert out.shape.dims == (1, 8, 16, 16)
+
+    def test_conv2d_valid_padding(self):
+        out = infer_output_spec(OpType.CONV2D, [spec(1, 3, 32, 32), spec(8, 3, 3, 3)],
+                                {"stride": 1, "padding": "valid"})
+        assert out.shape.dims == (1, 8, 30, 30)
+
+    def test_pooling(self):
+        out = infer_output_spec(OpType.MAXPOOL2D, [spec(1, 8, 16, 16)],
+                                {"kernel": 2, "stride": 2})
+        assert out.shape.dims == (1, 8, 8, 8)
+
+    def test_global_avgpool(self):
+        out = infer_output_spec(OpType.GLOBAL_AVGPOOL, [spec(2, 8, 7, 7)])
+        assert out.shape.dims == (2, 8)
+
+    def test_broadcast_add(self):
+        out = infer_output_spec(OpType.ADD, [spec(4, 8), spec(8)])
+        assert out.shape.dims == (4, 8)
+
+    def test_broadcast_incompatible(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.ADD, [spec(4, 8), spec(5)])
+
+    def test_reshape(self):
+        out = infer_output_spec(OpType.RESHAPE, [spec(2, 6)], {"shape": (3, 4)})
+        assert out.shape.dims == (3, 4)
+
+    def test_reshape_element_mismatch(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.RESHAPE, [spec(2, 6)], {"shape": (5, 3)})
+
+    def test_transpose_default_and_perm(self):
+        out = infer_output_spec(OpType.TRANSPOSE, [spec(2, 3, 4)], {"perm": (0, 2, 1)})
+        assert out.shape.dims == (2, 4, 3)
+        out = infer_output_spec(OpType.TRANSPOSE, [spec(2, 3)])
+        assert out.shape.dims == (3, 2)
+
+    def test_transpose_invalid_perm(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.TRANSPOSE, [spec(2, 3)], {"perm": (0, 0)})
+
+    def test_concat(self):
+        out = infer_output_spec(OpType.CONCAT, [spec(1, 4, 8, 8), spec(1, 6, 8, 8)],
+                                {"axis": 1})
+        assert out.shape.dims == (1, 10, 8, 8)
+
+    def test_split(self):
+        out = infer_output_spec(OpType.SPLIT, [spec(1, 8, 4, 4)], {"axis": 1, "parts": 2})
+        assert out.shape.dims == (1, 4, 4, 4)
+
+    def test_split_indivisible(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.SPLIT, [spec(1, 7, 4, 4)], {"axis": 1, "parts": 2})
+
+    def test_slice(self):
+        out = infer_output_spec(OpType.SLICE, [spec(1, 10, 4, 4)],
+                                {"axis": 1, "start": 2, "end": 7})
+        assert out.shape.dims == (1, 5, 4, 4)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.SLICE, [spec(1, 4)], {"axis": 1, "start": 2, "end": 6})
+
+    def test_reduce(self):
+        out = infer_output_spec(OpType.REDUCE_MEAN, [spec(2, 5, 7)], {"axis": 1})
+        assert out.shape.dims == (2, 7)
+        out = infer_output_spec(OpType.REDUCE_MEAN, [spec(2, 5, 7)],
+                                {"axis": 1, "keepdims": True})
+        assert out.shape.dims == (2, 1, 7)
+
+    def test_embedding(self):
+        out = infer_output_spec(OpType.EMBEDDING, [spec(100, 16), spec(2, 12)])
+        assert out.shape.dims == (2, 12, 16)
+
+    def test_flatten(self):
+        out = infer_output_spec(OpType.FLATTEN, [spec(2, 3, 4, 5)])
+        assert out.shape.dims == (2, 60)
+
+    def test_sources_require_shape(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.INPUT, [], {})
+        out = infer_output_spec(OpType.WEIGHT, [], {"shape": (3, 3)})
+        assert out.is_constant
+
+    def test_elementwise_unary_passthrough(self):
+        for op in (OpType.RELU, OpType.GELU, OpType.SOFTMAX, OpType.LAYERNORM):
+            out = infer_output_spec(op, [spec(2, 8)])
+            assert out.shape.dims == (2, 8)

@@ -1,0 +1,153 @@
+"""Numeric gradient checks and behaviour tests for the autodiff engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concat, segment_softmax, segment_sum, stack
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = np.zeros_like(flat)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = fn(x.copy())
+        flat[i] = orig - eps
+        minus = fn(x.copy())
+        flat[i] = orig
+        out[i] = (plus - minus) / (2 * eps)
+    return out.reshape(x.shape)
+
+
+def check_gradient(op, x_data, atol=1e-5):
+    x = Tensor(x_data, requires_grad=True)
+    out = op(x)
+    loss = out.sum() if out.data.size > 1 else out
+    loss.backward()
+
+    def scalar_fn(data):
+        value = op(Tensor(data)).data
+        return float(value.sum())
+
+    expected = numeric_grad(scalar_fn, np.asarray(x_data, dtype=float))
+    np.testing.assert_allclose(x.grad, expected, atol=atol)
+
+
+class TestGradients:
+    def test_add_mul(self):
+        check_gradient(lambda x: x * 3.0 + x * x, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_matmul(self):
+        w = Tensor(np.random.default_rng(1).normal(size=(4, 2)))
+        check_gradient(lambda x: x @ w, np.random.default_rng(0).normal(size=(3, 4)))
+
+    def test_relu_tanh_sigmoid_exp(self):
+        data = np.random.default_rng(2).normal(size=(5,)) + 0.1
+        check_gradient(lambda x: x.relu(), data)
+        check_gradient(lambda x: x.tanh(), data)
+        check_gradient(lambda x: x.sigmoid(), data)
+        check_gradient(lambda x: x.exp(), data)
+
+    def test_log_and_division(self):
+        data = np.abs(np.random.default_rng(3).normal(size=(4,))) + 0.5
+        check_gradient(lambda x: x.log(), data)
+        check_gradient(lambda x: 1.0 / x, data)
+
+    def test_softmax_log_softmax(self):
+        data = np.random.default_rng(4).normal(size=(2, 5))
+        check_gradient(lambda x: x.softmax(axis=-1), data, atol=1e-4)
+        check_gradient(lambda x: x.log_softmax(axis=-1), data, atol=1e-4)
+
+    def test_reshape_transpose_slice(self):
+        data = np.random.default_rng(5).normal(size=(2, 6))
+        check_gradient(lambda x: x.reshape(3, 4), data)
+        check_gradient(lambda x: x.transpose(1, 0), data)
+        check_gradient(lambda x: x[0:1], data)
+
+    def test_mean_max(self):
+        data = np.random.default_rng(6).normal(size=(3, 4))
+        check_gradient(lambda x: x.mean(axis=0), data)
+        check_gradient(lambda x: x.max(axis=1), data, atol=1e-4)
+
+    def test_broadcasting_gradients(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+
+    def test_concat_and_stack(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        concat([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        a.zero_grad(); b.zero_grad()
+        (stack([a, b], axis=0) * 2.0).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full((2, 3), 2.0))
+
+    def test_gather_rows(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(4, 3), requires_grad=True)
+        idx = np.array([0, 2, 2])
+        x.gather_rows(idx).sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0], [2, 2, 2], [0, 0, 0]])
+
+    def test_clip(self):
+        data = np.array([-2.0, 0.5, 3.0])
+        check_gradient(lambda x: x.clip(-1.0, 1.0), data)
+
+
+class TestSegmentOps:
+    def test_segment_sum_forward_backward(self):
+        values = Tensor(np.arange(8, dtype=float).reshape(4, 2), requires_grad=True)
+        ids = np.array([0, 0, 1, 1])
+        out = segment_sum(values, ids, 2)
+        np.testing.assert_allclose(out.data, [[2, 4], [10, 12]])
+        out.sum().backward()
+        np.testing.assert_allclose(values.grad, np.ones((4, 2)))
+
+    def test_segment_softmax_normalises_per_segment(self):
+        logits = Tensor(np.array([[1.0], [2.0], [3.0], [0.5]]), requires_grad=True)
+        ids = np.array([0, 0, 1, 1])
+        out = segment_softmax(logits, ids, 2)
+        sums = segment_sum(out, ids, 2)
+        np.testing.assert_allclose(sums.data, np.ones((2, 1)), atol=1e-9)
+
+    def test_segment_softmax_gradients_flow(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 1)), requires_grad=True)
+        ids = np.array([0, 0, 1, 1, 1])
+        (segment_softmax(logits, ids, 2) * np.arange(5).reshape(5, 1)).sum().backward()
+        assert logits.grad is not None
+        assert np.isfinite(logits.grad).all()
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_grad_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).sum()
+        y.backward()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 5.0))
+
+    def test_detach_stops_gradients(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x.detach() * 2).sum()
+        assert x.grad is None
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shapes_property(self, n, m):
+        a = Tensor(np.ones((n, m)), requires_grad=True)
+        b = Tensor(np.ones((m, 3)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (n, 3)
+        out.sum().backward()
+        assert a.grad.shape == (n, m) and b.grad.shape == (m, 3)

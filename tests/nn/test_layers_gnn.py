@@ -1,0 +1,124 @@
+"""Tests for dense layers, optimisers and the GNN encoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, BatchedGraphs, GraphEmbeddingNetwork, Linear, MLP,
+                      SGD, Tensor, clip_grad_norm)
+from repro.rl.features import build_meta_graph
+from repro.ir import GraphBuilder
+
+
+def tiny_batch(num_graphs=2):
+    graphs = []
+    for _ in range(num_graphs):
+        b = GraphBuilder()
+        x = b.input((2, 4))
+        graphs.append(b.build([b.relu(b.linear(x, 4, 4))]))
+    return build_meta_graph(graphs)
+
+
+class TestLayers:
+    def test_linear_shapes_and_params(self):
+        layer = Linear(4, 3)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+        assert len(layer.parameters()) == 2
+
+    def test_mlp_forward_and_param_collection(self):
+        mlp = MLP([4, 8, 2])
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(mlp.parameters()) == 4
+
+    def test_mlp_rejects_single_size(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_state_dict_round_trip(self):
+        mlp = MLP([4, 8, 2])
+        state = mlp.state_dict()
+        other = MLP([4, 8, 2])
+        other.load_state_dict(state)
+        for a, b in zip(mlp.parameters(), other.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_state_dict_shape_mismatch(self):
+        mlp = MLP([4, 8, 2])
+        with pytest.raises(ValueError):
+            MLP([4, 4, 2]).load_state_dict(mlp.state_dict())
+
+
+class TestOptimisers:
+    def _loss(self, layer):
+        x = Tensor(np.ones((8, 4)))
+        target = Tensor(np.zeros((8, 2)))
+        pred = layer(x)
+        return ((pred - target) ** 2).mean()
+
+    def test_sgd_reduces_loss(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(1))
+        opt = SGD(layer.parameters(), lr=0.05)
+        initial = float(self._loss(layer).numpy())
+        for _ in range(20):
+            opt.zero_grad()
+            loss = self._loss(layer)
+            loss.backward()
+            opt.step()
+        assert float(self._loss(layer).numpy()) < initial
+
+    def test_adam_reduces_loss(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(1))
+        opt = Adam(layer.parameters(), lr=0.01)
+        initial = float(self._loss(layer).numpy())
+        for _ in range(20):
+            opt.zero_grad()
+            loss = self._loss(layer)
+            loss.backward()
+            opt.step()
+        assert float(self._loss(layer).numpy()) < initial
+
+    def test_clip_grad_norm(self):
+        layer = Linear(4, 2)
+        loss = self._loss(layer) * 1e6
+        loss.backward()
+        norm = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert norm > 1.0
+        clipped = np.sqrt(sum(float((p.grad ** 2).sum()) for p in layer.parameters()))
+        assert clipped == pytest.approx(1.0, rel=1e-6)
+
+
+class TestGNN:
+    def test_embedding_shape(self):
+        batch = tiny_batch(3)
+        net = GraphEmbeddingNetwork(node_dim=batch.node_features.shape[1],
+                                    edge_dim=batch.edge_features.shape[1],
+                                    hidden_dim=16, embedding_dim=8,
+                                    num_gat_layers=2)
+        out = net(batch)
+        assert out.shape == (3, 8)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_gradients_reach_all_parameters(self):
+        batch = tiny_batch(2)
+        net = GraphEmbeddingNetwork(node_dim=batch.node_features.shape[1],
+                                    edge_dim=batch.edge_features.shape[1],
+                                    hidden_dim=8, embedding_dim=8, num_gat_layers=2)
+        net(batch).sum().backward()
+        grads = [p.grad for p in net.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).sum() > 0 for g in grads)
+
+    def test_distinct_graphs_get_distinct_embeddings(self):
+        b1 = GraphBuilder()
+        x = b1.input((2, 4))
+        g1 = b1.build([b1.relu(x)])
+        b2 = GraphBuilder()
+        x = b2.input((2, 4))
+        g2 = b2.build([b2.tanh(b2.linear(x, 4, 4))])
+        batch = build_meta_graph([g1, g2])
+        net = GraphEmbeddingNetwork(node_dim=batch.node_features.shape[1],
+                                    edge_dim=batch.edge_features.shape[1],
+                                    hidden_dim=16, embedding_dim=8, num_gat_layers=2)
+        out = net(batch).numpy()
+        assert not np.allclose(out[0], out[1])

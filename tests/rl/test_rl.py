@@ -1,0 +1,199 @@
+"""Tests for the RL substrate: features, environment, GAE, PPO, training."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import XRLflowConfig
+from repro.cost import E2ESimulator
+from repro.ir import GraphBuilder
+from repro.rl import (GraphRewriteEnv, PPOTrainer, PPOUpdater, RolloutBuffer,
+                      Transition, XRLflowAgent, build_meta_graph, compute_gae,
+                      encode_graph)
+from repro.rl.features import EDGE_FEATURE_DIM, NODE_FEATURE_DIM
+from repro.rules import default_ruleset
+
+
+@pytest.fixture
+def small_env(conv_graph):
+    return GraphRewriteEnv(conv_graph, feedback_interval=2, max_candidates=8,
+                           max_steps=6, seed=0)
+
+
+@pytest.fixture
+def small_agent():
+    return XRLflowAgent(hidden_dim=16, embedding_dim=16, num_gat_layers=1,
+                        head_sizes=(16,), seed=0)
+
+
+class TestFeatures:
+    def test_encode_graph_dimensions(self, mlp_graph):
+        feats = encode_graph(mlp_graph)
+        assert feats.node_features.shape == (mlp_graph.num_nodes, NODE_FEATURE_DIM)
+        assert feats.edge_features.shape[1] == EDGE_FEATURE_DIM
+        assert feats.edge_src.shape == feats.edge_dst.shape
+        # One-hot: every node row sums to exactly one.
+        np.testing.assert_allclose(feats.node_features.sum(axis=1), 1.0)
+
+    def test_edge_features_normalised(self, mlp_graph):
+        feats = encode_graph(mlp_graph)
+        assert np.all(feats.edge_features >= 0.0)
+        assert np.all(feats.edge_features <= 1.0)
+
+    def test_meta_graph_offsets(self, mlp_graph, conv_graph):
+        batch = build_meta_graph([mlp_graph, conv_graph])
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == mlp_graph.num_nodes + conv_graph.num_nodes
+        assert batch.graph_ids.max() == 1
+        # Edges never cross graph boundaries.
+        assert (batch.graph_ids[batch.edge_src] == batch.graph_ids[batch.edge_dst]).all()
+
+
+class TestEnvironment:
+    def test_reset_returns_candidates_and_mask(self, small_env):
+        obs = small_env.reset()
+        assert obs.action_mask[-1]  # No-Op always valid
+        assert obs.action_mask[: len(obs.candidates)].all()
+        assert not obs.action_mask[len(obs.candidates):-1].any()
+        assert obs.meta_graph.num_graphs == len(obs.candidates) + 1
+
+    def test_step_applies_candidate(self, small_env):
+        obs = small_env.reset()
+        before = small_env.current_graph.structural_hash()
+        step = small_env.step(0)
+        assert small_env.current_graph.structural_hash() != before
+        assert small_env.applied_rules
+        assert isinstance(step.reward, float)
+
+    def test_noop_terminates(self, small_env):
+        obs = small_env.reset()
+        step = small_env.step(obs.noop_index)
+        assert step.done
+
+    def test_invalid_action_treated_as_noop(self, small_env):
+        obs = small_env.reset()
+        step = small_env.step(len(obs.candidates))  # first padded slot
+        assert step.done
+
+    def test_feedback_interval_reward(self, conv_graph):
+        env = GraphRewriteEnv(conv_graph, feedback_interval=2, step_reward=0.1,
+                              max_candidates=8, max_steps=6)
+        env.reset()
+        first = env.step(0)
+        assert first.reward == pytest.approx(0.1)
+        second = env.step(0)
+        # Measurement step: reward is the latency improvement (non-constant).
+        assert second.reward != pytest.approx(0.1)
+
+    def test_best_graph_tracked(self, small_env):
+        small_env.reset()
+        done = False
+        while not done:
+            result = small_env.step(0)
+            done = result.done
+        assert small_env.best_latency_ms <= small_env.initial_latency_ms + 1e-9
+
+    def test_episode_terminates_within_max_steps(self, small_env):
+        small_env.reset()
+        steps = 0
+        done = False
+        while not done and steps < 50:
+            done = small_env.step(0).done
+            steps += 1
+        assert done
+
+    def test_custom_reward_callback(self, conv_graph):
+        calls = []
+
+        def reward_fn(prev, cur, initial):
+            calls.append((prev, cur, initial))
+            return 1.0
+
+        env = GraphRewriteEnv(conv_graph, feedback_interval=1, reward_fn=reward_fn,
+                              max_candidates=4, max_steps=2)
+        env.reset()
+        step = env.step(0)
+        assert step.reward == pytest.approx(1.0)
+        assert calls
+
+
+class TestGAE:
+    def test_single_step_episode(self):
+        adv, ret = compute_gae(np.array([1.0]), np.array([0.5]), np.array([True]),
+                               gamma=0.9, lam=0.8)
+        assert adv[0] == pytest.approx(0.5)
+        assert ret[0] == pytest.approx(1.0)
+
+    def test_no_bootstrapping_across_done(self):
+        rewards = np.array([1.0, 1.0])
+        values = np.array([0.0, 100.0])
+        dones = np.array([True, True])
+        adv, _ = compute_gae(rewards, values, dones, gamma=1.0, lam=1.0)
+        assert adv[0] == pytest.approx(1.0)  # the 100 value never leaks back
+
+    def test_discounting(self):
+        rewards = np.array([0.0, 0.0, 1.0])
+        values = np.zeros(3)
+        dones = np.array([False, False, True])
+        adv, _ = compute_gae(rewards, values, dones, gamma=0.5, lam=1.0)
+        assert adv[0] == pytest.approx(0.25)
+
+    def test_buffer_normalises_advantages(self, small_env, small_agent):
+        buffer = RolloutBuffer()
+        obs = small_env.reset()
+        for _ in range(3):
+            decision = small_agent.act(obs)
+            step = small_env.step(decision.action)
+            buffer.add(Transition(obs, decision.action, decision.log_prob,
+                                  decision.value, step.reward, step.done))
+            obs = step.observation
+            if step.done:
+                obs = small_env.reset()
+        adv, ret = buffer.finalise()
+        assert len(adv) == len(buffer)
+        assert abs(float(adv.mean())) < 1e-6
+
+
+class TestAgent:
+    def test_action_probabilities_respect_mask(self, small_env, small_agent):
+        obs = small_env.reset()
+        decision = small_agent.act(obs)
+        invalid = ~obs.action_mask
+        assert decision.probabilities[invalid].sum() < 1e-6
+        assert decision.probabilities.sum() == pytest.approx(1.0)
+        assert obs.action_mask[decision.action]
+
+    def test_deterministic_action_is_argmax(self, small_env, small_agent):
+        obs = small_env.reset()
+        decision = small_agent.act(obs, deterministic=True)
+        assert decision.action == int(np.argmax(decision.probabilities))
+
+    def test_evaluate_actions_differentiable(self, small_env, small_agent):
+        obs = small_env.reset()
+        log_prob, value, entropy = small_agent.evaluate_actions(obs, 0)
+        (log_prob + value + entropy).sum().backward()
+        assert any(p.grad is not None for p in small_agent.parameters())
+
+    def test_state_dict_round_trip(self, small_agent):
+        clone = XRLflowAgent(hidden_dim=16, embedding_dim=16, num_gat_layers=1,
+                             head_sizes=(16,), seed=99)
+        clone.load_state_dict(small_agent.state_dict())
+        for a, b in zip(small_agent.parameters(), clone.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+
+class TestTraining:
+    def test_ppo_update_changes_parameters(self, small_env, small_agent):
+        updater = PPOUpdater(small_agent, epochs=1, batch_size=4)
+        trainer = PPOTrainer(small_env, small_agent, updater, update_frequency=2)
+        before = [p.data.copy() for p in small_agent.parameters()]
+        trainer.train(num_episodes=2)
+        after = [p.data for p in small_agent.parameters()]
+        assert any(not np.allclose(a, b) for a, b in zip(before, after))
+
+    def test_training_history_records_episodes(self, small_env, small_agent):
+        updater = PPOUpdater(small_agent, epochs=1, batch_size=4)
+        trainer = PPOTrainer(small_env, small_agent, updater, update_frequency=2)
+        history = trainer.train(num_episodes=2)
+        assert len(history.episodes) == 2
+        assert history.best_episode is not None
+        assert history.mean_reward() != 0.0 or history.episodes[0].steps >= 0

@@ -1,0 +1,94 @@
+"""Tests for the reference graph interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.rules.interpreter import GraphInterpreter, execute_graph, graphs_equivalent
+
+
+class TestInterpreter:
+    def test_matmul_add_relu_matches_numpy(self):
+        b = GraphBuilder()
+        x = b.input((3, 4), name="x")
+        w = b.weight((4, 5), name="w")
+        out = b.relu(b.matmul(x, w))
+        g = b.build([out])
+        interp = GraphInterpreter()
+        values = interp.run(g)
+        x_val = values[x]
+        w_val = values[w]
+        expected = np.maximum(x_val @ w_val, 0.0)
+        np.testing.assert_allclose(values[out], expected)
+
+    def test_user_inputs_respected(self):
+        b = GraphBuilder()
+        x = b.input((2, 2), name="x")
+        out = b.relu(x)
+        g = b.build([out])
+        feed = np.array([[1.0, -2.0], [3.0, -4.0]])
+        result = execute_graph(g, {"x": feed})
+        np.testing.assert_allclose(list(result.values())[0], np.maximum(feed, 0))
+
+    def test_softmax_rows_sum_to_one(self):
+        b = GraphBuilder()
+        x = b.input((2, 5), name="x")
+        out = b.softmax(x)
+        g = b.build([out])
+        values = GraphInterpreter().run(g)
+        np.testing.assert_allclose(values[out].sum(axis=-1), np.ones(2))
+
+    def test_concat_split_round_trip(self):
+        b = GraphBuilder()
+        x = b.input((2, 4), name="x")
+        y = b.input((2, 6), name="y")
+        cat = b.concat([x, y], axis=1)
+        sl = b.slice(cat, axis=1, start=0, end=4)
+        g = b.build([sl])
+        values = GraphInterpreter().run(g)
+        np.testing.assert_allclose(values[sl], values[x])
+
+    def test_conv_against_direct_computation(self):
+        b = GraphBuilder()
+        x = b.input((1, 2, 4, 4), name="x")
+        c = b.conv2d(x, 3, kernel=1, padding="same")
+        g = b.build([c])
+        values = GraphInterpreter().run(g)
+        w = values[g.predecessors(c)[1]]
+        expected = np.einsum("nchw,oc->nohw", values[x], w[:, :, 0, 0])
+        np.testing.assert_allclose(values[c], expected, atol=1e-9)
+
+    def test_pooling(self):
+        b = GraphBuilder()
+        x = b.input((1, 1, 4, 4), name="x")
+        p = b.maxpool(x, kernel=2, stride=2)
+        g = b.build([p])
+        feed = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        values = GraphInterpreter().run(g, {"x": feed})
+        np.testing.assert_allclose(values[p][0, 0], [[5, 7], [13, 15]])
+
+    def test_weights_are_deterministic(self):
+        b = GraphBuilder()
+        x = b.input((2, 4), name="x")
+        out = b.linear(x, 4, 4, name="fc")
+        g = b.build([out])
+        v1 = GraphInterpreter().run(g)[out]
+        v2 = GraphInterpreter().run(g)[out]
+        np.testing.assert_allclose(v1, v2)
+
+
+class TestEquivalenceChecker:
+    def test_identical_graphs_equivalent(self, mlp_graph):
+        assert graphs_equivalent(mlp_graph, mlp_graph.copy())
+
+    def test_different_structure_not_equivalent(self):
+        b1 = GraphBuilder()
+        x = b1.input((2, 4), name="x")
+        g1 = b1.build([b1.relu(x)])
+        b2 = GraphBuilder()
+        x = b2.input((2, 4), name="x")
+        g2 = b2.build([b2.tanh(x)])
+        assert not graphs_equivalent(g1, g2)
+
+    def test_mismatched_inputs_not_equivalent(self, mlp_graph, conv_graph):
+        assert not graphs_equivalent(mlp_graph, conv_graph)
