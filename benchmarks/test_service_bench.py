@@ -1,0 +1,93 @@
+"""Benchmarks for the optimisation service: cold-vs-warm throughput and
+parallel scaling.
+
+Cold submissions pay the full search; warm re-submissions return from the
+fingerprint cache.  Parallel scaling compares a 1-worker pool against a
+4-worker pool on cache-bypassing jobs — wall-clock gains depend on the cores
+the host grants (a single-core CI box shows ~1x), so the bench asserts result
+*equivalence* and prints the measured scaling.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import ExperimentReport, build_small_model
+from repro.service import OptimisationService
+
+MODELS = ["squeezenet", "resnext50", "bert", "vit"]
+TASO_CONFIG = {"max_iterations": 25}
+
+
+def _graphs():
+    return [(build_small_model(name), name) for name in MODELS]
+
+
+def _run_batch(service, graphs, use_cache=True):
+    started = time.perf_counter()
+    results = service.optimise_batch(graphs, "taso", TASO_CONFIG,
+                                     use_cache=use_cache)
+    return results, time.perf_counter() - started
+
+
+def test_service_cold_vs_warm_throughput(benchmark):
+    """Re-submitting a known model returns from cache >= 10x faster."""
+    graphs = _graphs()
+
+    def run():
+        with OptimisationService(num_workers=2) as service:
+            cold, cold_s = _run_batch(service, graphs)
+            warm, warm_s = _run_batch(service, graphs)
+            return cold, warm, cold_s, warm_s, service.stats()
+
+    cold, warm, cold_s, warm_s, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        experiment="Service bench",
+        description="cold vs warm batch over the evaluation models")
+    for (c, w, name) in zip(cold, warm, MODELS):
+        report.add(name, cold_s=c.run_time_s, warm_s=w.run_time_s,
+                   speedup_pct=c.search.speedup_percent)
+    report.add("batch_total", cold_s=cold_s, warm_s=warm_s,
+               speedup_x=cold_s / warm_s)
+    print("\n" + report.to_text())
+
+    assert all(not r.cache_hit for r in cold)
+    assert all(r.cache_hit for r in warm)
+    for c, w in zip(cold, warm):
+        assert c.graph.structural_hash() == w.graph.structural_hash()
+    assert cold_s >= 10.0 * warm_s, \
+        f"warm batch not 10x faster: cold={cold_s:.3f}s warm={warm_s:.3f}s"
+    assert stats["cache"]["misses"] == len(MODELS)
+    assert stats["cache"]["memory_hits"] == len(MODELS)
+
+
+def test_service_parallel_scaling(benchmark):
+    """4 workers produce graphs identical to serial; scaling is reported."""
+    graphs = _graphs()
+
+    def run():
+        with OptimisationService(num_workers=1) as service:
+            serial, serial_s = _run_batch(service, graphs, use_cache=False)
+        with OptimisationService(num_workers=4) as service:
+            parallel, parallel_s = _run_batch(service, graphs,
+                                              use_cache=False)
+        return serial, serial_s, parallel, parallel_s
+
+    serial, serial_s, parallel, parallel_s = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    report = ExperimentReport(
+        experiment="Service bench",
+        description="1-worker vs 4-worker batch (cache bypassed)")
+    report.add("serial", seconds=serial_s, jobs_per_s=len(MODELS) / serial_s)
+    report.add("parallel_4", seconds=parallel_s,
+               jobs_per_s=len(MODELS) / parallel_s)
+    report.add("scaling", speedup_x=serial_s / parallel_s)
+    print("\n" + report.to_text())
+
+    assert [r.search.model for r in parallel] == MODELS
+    for s, p in zip(serial, parallel):
+        assert s.graph.structural_hash() == p.graph.structural_hash()
+        assert s.search.final_cost_ms == pytest.approx(p.search.final_cost_ms)

@@ -1,40 +1,52 @@
 """Compare X-RLflow against the TASO, Tensat and random-search baselines.
 
-This mirrors the paper's Figure 4 / Figure 8 workflow on a single model::
+This mirrors the paper's Figure 4 / Figure 8 workflow on a single model, but
+routes every contender through the optimisation service: the four searches
+run concurrently on the worker pool, and re-running the script against a
+persistent cache directory returns instantly from the fingerprint cache::
 
     python examples/compare_optimisers.py [model_name]
 """
 
 import sys
 
-from repro import XRLflow, build_model
-from repro.cost import E2ESimulator
-from repro.experiments import benchmark_config, small_model_kwargs
-from repro.search import RandomSearchOptimizer, TASOOptimizer, TensatOptimizer
+from repro import build_model
+from repro.experiments import small_model_kwargs
+from repro.service import OptimisationService
 
 
 def main(model_name: str = "squeezenet") -> None:
     graph = build_model(model_name, **small_model_kwargs(model_name))
     print(f"Optimising {model_name}: {graph.num_nodes} nodes")
 
-    # All optimisers report against the same end-to-end latency simulator.
-    e2e = E2ESimulator()
+    # Optimiser name -> config overrides, dispatched through the registry.
     contenders = {
-        "taso": TASOOptimizer(max_iterations=40, e2e=e2e),
-        "tensat": TensatOptimizer(round_limit=4, e2e=e2e),
-        "random": RandomSearchOptimizer(num_walks=3, horizon=20, e2e=e2e),
-        "xrlflow": XRLflow(benchmark_config(), e2e=e2e),
+        "taso": {"max_iterations": 40},
+        "tensat": {"round_limit": 4},
+        "random": {"num_walks": 3, "horizon": 20},
+        "xrlflow": {},
     }
 
-    results = {}
-    for name, optimiser in contenders.items():
-        results[name] = optimiser.optimise(graph, model_name)
-        print(results[name].summary())
+    with OptimisationService(num_workers=len(contenders)) as service:
+        job_ids = {
+            name: service.submit(graph, optimiser=name, config=config,
+                                 model_name=model_name)
+            for name, config in contenders.items()
+        }
+        results = {name: service.result(job_id)
+                   for name, job_id in job_ids.items()}
 
-    print("\nEnd-to-end speedup over the unoptimised graph:")
-    for name, result in sorted(results.items(), key=lambda kv: -kv[1].speedup):
-        print(f"  {name:8s} {result.speedup_percent:+7.2f}%  "
-              f"({result.optimisation_time_s:.2f}s optimisation time)")
+        for name, result in results.items():
+            print(result.search.summary())
+
+        print("\nEnd-to-end speedup over the unoptimised graph:")
+        ranked = sorted(results.items(), key=lambda kv: -kv[1].search.speedup)
+        for name, result in ranked:
+            origin = " [cache]" if result.cache_hit else ""
+            print(f"  {name:8s} {result.search.speedup_percent:+7.2f}%  "
+                  f"({result.search.optimisation_time_s:.2f}s optimisation "
+                  f"time){origin}")
+        print(f"\nservice stats: {service.stats()['jobs']}")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ _LAZY_EXPORTS = {
     "XRLflow": ("repro.core.xrlflow", "XRLflow"),
     "OptimisationResult": ("repro.core.xrlflow", "OptimisationResult"),
     "build_model": ("repro.models", "build_model"),
+    "OptimisationService": ("repro.service.api", "OptimisationService"),
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from ..core.config import XRLflowConfig
@@ -9,11 +10,10 @@ from ..core.generalise import ShapeVariant, evaluate_generalisation
 from ..core.xrlflow import XRLflow
 from ..cost.e2e import E2ESimulator
 from ..models.registry import PAPER_EVAL_MODELS, TENSAT_MODELS, MODEL_REGISTRY, build_model
-from ..search.greedy import TASOOptimizer
 from ..search.result import SearchResult
 from ..search.tensat import TensatOptimizer
 from .common import (ExperimentReport, benchmark_config, build_small_model,
-                     small_model_kwargs)
+                     optimise_via_service, small_model_kwargs)
 
 __all__ = ["run_figure4", "run_figure5", "run_figure6", "run_figure7",
            "run_figure8", "optimise_suite"]
@@ -33,11 +33,23 @@ def optimise_suite(models: Optional[Sequence[str]] = None,
     results: Dict[str, Dict[str, SearchResult]] = {}
     for name in models:
         graph = build_small_model(name)
-        e2e = E2ESimulator()
-        taso = TASOOptimizer(max_iterations=taso_iterations, e2e=e2e)
-        xrlflow = XRLflow(config, e2e=e2e)
+        # The TASO leg routes through the shared optimisation service, so a
+        # second sweep over the same models returns from the warm cache.
+        # (E2ESimulator.latency_ms is deterministic, so the service worker's
+        # own simulator reports the same numbers as a shared instance.)
+        taso_result = optimise_via_service(
+            graph, "taso", {"max_iterations": taso_iterations},
+            model_name=name).search
+        if taso_result.stats.get("cache_hit"):
+            # Figure 6 plots optimisation wall-clock time; a cache hit
+            # reports retrieval time, so restore the original search time
+            # the cache entry preserved.
+            taso_result = dataclasses.replace(
+                taso_result,
+                optimisation_time_s=taso_result.stats["search_time_s"])
+        xrlflow = XRLflow(config, e2e=E2ESimulator())
         results[name] = {
-            "taso": taso.optimise(graph, name),
+            "taso": taso_result,
             "xrlflow": xrlflow.optimise(graph, name),
         }
     return results

@@ -98,9 +98,20 @@ class TASOOptimizer:
                     if cand_cost < best_cost:
                         best_graph, best_cost = candidate.graph, cand_cost
                         best_rules = cand_rules
-                    if cand_cost <= self.alpha * best_cost and len(heap) < self.queue_capacity:
-                        heapq.heappush(heap, (cand_cost, next(counter),
-                                              candidate.graph, cand_rules))
+                    if cand_cost <= self.alpha * best_cost:
+                        entry = (cand_cost, next(counter),
+                                 candidate.graph, cand_rules)
+                        if len(heap) < self.queue_capacity:
+                            heapq.heappush(heap, entry)
+                        else:
+                            # Queue full: evict the most expensive queued
+                            # graph rather than dropping the (possibly
+                            # cheaper) new candidate on the floor.
+                            worst = max(range(len(heap)),
+                                        key=lambda i: heap[i][0])
+                            if heap[worst][0] > cand_cost:
+                                heap[worst] = entry
+                                heapq.heapify(heap)
 
             result = SearchResult(
                 optimiser=self.name,
@@ -126,6 +137,10 @@ class GreedyOptimizer(TASOOptimizer):
     """Pure greedy hill-climbing: ``alpha = 1`` (no tolerance, no backtracking).
 
     Included as an ablation of how much TASO's backtracking tolerance buys.
+    With the queue-eviction behaviour of the full heap (a cheaper candidate
+    replaces the queued one), ``queue_capacity = 1`` makes this
+    steepest-descent: each step follows the *best* improving rewrite of the
+    current graph, not the first one found.
     """
 
     name = "greedy"

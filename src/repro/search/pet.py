@@ -37,7 +37,7 @@ __all__ = ["ConvToWinogradGemm", "PETOptimizer", "pet_ruleset"]
 class ConvToWinogradGemm(RewriteRule):
     """Switch a dense 3x3, stride-1 convolution to a Winograd-style algorithm.
 
-    The transformed convolution performs ~2.25x fewer multiplications but is
+    The transformed convolution performs ~4x fewer multiplications but is
     only *partially* equivalent (numerical error at tile boundaries), so a
     correction Add with a small constant tensor is appended, as PET's
     correction-kernel generator would.

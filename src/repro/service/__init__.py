@@ -1,0 +1,29 @@
+"""Optimisation-as-a-service: registry, fingerprint cache, job scheduler.
+
+The offline loop (build a graph, run one optimiser, report latency) becomes a
+serving layer here:
+
+* :mod:`repro.service.registry` — name → optimiser factory with defaults
+* :mod:`repro.service.cache` — fingerprint cache (in-memory LRU + JSON tier)
+* :mod:`repro.service.scheduler` — bounded submit/poll/result job scheduler
+* :mod:`repro.service.worker` — per-worker job execution
+* :mod:`repro.service.api` — the :class:`OptimisationService` batch façade
+* :mod:`repro.service.cli` — ``python -m repro.service`` front end
+"""
+
+from .api import OptimisationService
+from .cache import CacheEntry, CacheStats, FingerprintCache, request_fingerprint
+from .registry import (create_optimiser, default_config, list_optimisers,
+                       optimiser_spec, register_optimiser, OptimiserSpec)
+from .scheduler import (JobRecord, JobScheduler, JobState, QueueFullError,
+                        UnknownJobError)
+from .worker import JobRequest, ServiceResult, execute_request
+
+__all__ = [
+    "OptimisationService",
+    "CacheEntry", "CacheStats", "FingerprintCache", "request_fingerprint",
+    "OptimiserSpec", "create_optimiser", "default_config", "list_optimisers",
+    "optimiser_spec", "register_optimiser",
+    "JobRecord", "JobScheduler", "JobState", "QueueFullError", "UnknownJobError",
+    "JobRequest", "ServiceResult", "execute_request",
+]

@@ -1,0 +1,231 @@
+"""The :class:`OptimisationService` batch façade.
+
+Ties the registry, fingerprint cache and job scheduler together behind
+submit / poll / result semantics::
+
+    from repro import build_model
+    from repro.service import OptimisationService
+
+    with OptimisationService(num_workers=4) as service:
+        job_id = service.submit(build_model("squeezenet"), optimiser="taso")
+        result = service.result(job_id)          # blocks; ServiceResult
+        again = service.optimise(build_model("squeezenet"))
+        assert again.cache_hit                   # fingerprint cache warm
+
+Cache policy: the cache is consulted once, at submission time.  A hit
+short-circuits the search entirely (the job completes with the cached graph
+in microseconds); a miss dispatches a real search whose result is written
+back on success.  Identical requests submitted concurrently before the first
+completes will each run — accept the duplicate work rather than serialising
+admission behind in-flight searches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..ir.graph import Graph
+from .cache import CacheEntry, FingerprintCache
+from .registry import optimiser_spec
+from .scheduler import JobScheduler, JobState, UnknownJobError
+from .worker import JobRequest, ServiceResult, cached_result, execute_request
+
+__all__ = ["OptimisationService"]
+
+#: Things submit_batch accepts per item: a graph, (graph, model_name),
+#: a JobRequest, or a kwargs dict for submit().
+BatchItem = Union[Graph, "JobRequest", Mapping[str, Any], tuple]
+
+
+class OptimisationService:
+    """Optimisation-as-a-service over the optimiser registry.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-pool size for concurrent search jobs.
+    cache:
+        A pre-built :class:`FingerprintCache` to share between services;
+        built from ``cache_capacity`` / ``cache_dir`` when omitted.
+    cache_dir:
+        Enables the persistent JSON cache tier under this directory.
+    max_pending:
+        Bounded admission queue (see :class:`JobScheduler`).
+    use_processes:
+        Use a process pool for true parallelism of the pure-Python searches.
+    """
+
+    def __init__(self, num_workers: int = 4,
+                 cache: Optional[FingerprintCache] = None,
+                 cache_capacity: int = 256,
+                 cache_dir: Optional[str] = None,
+                 max_pending: int = 256,
+                 use_processes: bool = False):
+        self.cache = cache if cache is not None else FingerprintCache(
+            capacity=cache_capacity, cache_dir=cache_dir)
+        self.scheduler = JobScheduler(num_workers=num_workers,
+                                      max_pending=max_pending,
+                                      use_processes=use_processes)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, graph: Graph, optimiser: str = "taso",
+               config: Optional[Mapping[str, Any]] = None,
+               model_name: str = "", use_cache: bool = True) -> int:
+        """Queue one optimisation job; returns its job id immediately.
+
+        Unknown optimiser names raise ``KeyError`` here, not in the worker.
+        """
+        request = JobRequest(graph=graph, optimiser=optimiser,
+                             config=dict(config or {}),
+                             model_name=model_name, use_cache=use_cache)
+        return self.submit_request(request)
+
+    def submit_request(self, request: JobRequest) -> int:
+        # Canonicalise to the *effective* config — registry defaults merged
+        # under the overrides — so spelling a default out explicitly shares a
+        # cache slot with omitting it, and a later change to a registry
+        # default cannot resurrect persistent entries computed under the old
+        # default.
+        spec = optimiser_spec(request.optimiser)
+        effective = {**spec.defaults, **dict(request.config)}
+        if request.optimiser != spec.name or effective != dict(request.config):
+            request = replace(request, optimiser=spec.name, config=effective)
+        fingerprint = request.fingerprint()
+        if request.use_cache:
+            started = time.perf_counter()
+            entry = self.cache.get(fingerprint)
+            if entry is not None:
+                # Complete the job inline: a hit never touches the worker
+                # pool, so warm traffic costs neither a dispatch nor (with a
+                # process pool) a round of graph pickling.
+                result = cached_result(request, entry,
+                                       time.perf_counter() - started)
+                return self.scheduler.submit_completed(
+                    result, label=f"{request.label} (cached)")
+            on_success = self._store_callback(fingerprint)
+        else:
+            on_success = None
+        return self.scheduler.submit(execute_request, request, fingerprint,
+                                     label=request.label,
+                                     on_success=on_success)
+
+    def submit_batch(self, jobs: Iterable[BatchItem],
+                     optimiser: str = "taso",
+                     config: Optional[Mapping[str, Any]] = None,
+                     use_cache: bool = True) -> List[int]:
+        """Queue many jobs; returns job ids in submission order.
+
+        ``optimiser`` / ``config`` / ``use_cache`` are defaults applied to
+        items that do not carry their own.  Admission is all-or-nothing: if
+        any item is rejected (bad item, unknown optimiser, full queue), the
+        batch's already-admitted still-pending jobs are cancelled before the
+        error propagates, so no work is stranded without its job ids.
+        """
+        job_ids: List[int] = []
+        try:
+            for item in jobs:
+                if isinstance(item, JobRequest):
+                    job_ids.append(self.submit_request(item))
+                elif isinstance(item, Graph):
+                    job_ids.append(self.submit(item, optimiser=optimiser,
+                                               config=config,
+                                               use_cache=use_cache))
+                elif isinstance(item, tuple):
+                    graph, model_name = item
+                    job_ids.append(self.submit(graph, optimiser=optimiser,
+                                               config=config,
+                                               model_name=model_name,
+                                               use_cache=use_cache))
+                elif isinstance(item, Mapping):
+                    kwargs = {"optimiser": optimiser, "config": config,
+                              "use_cache": use_cache, **item}
+                    job_ids.append(self.submit(**kwargs))
+                else:
+                    raise TypeError(
+                        f"cannot submit {type(item).__name__}: expected "
+                        "Graph, (graph, model_name), JobRequest or kwargs "
+                        "dict")
+        except Exception:
+            for job_id in job_ids:
+                try:
+                    self.scheduler.cancel(job_id)
+                except Exception:
+                    pass
+            raise
+        return job_ids
+
+    def _store_callback(self, fingerprint: str):
+        def store(result: ServiceResult) -> None:
+            self.cache.put(CacheEntry.from_result(fingerprint, result.search))
+        return store
+
+    # -- polling / results ---------------------------------------------
+    def poll(self, job_id: int) -> JobState:
+        """Non-blocking job state."""
+        return self.scheduler.poll(job_id)
+
+    def result(self, job_id: int,
+               timeout: Optional[float] = None) -> ServiceResult:
+        """Block until ``job_id`` finishes; re-raises the job's exception."""
+        outcome: ServiceResult = self.scheduler.result(job_id, timeout)
+        try:
+            record = self.scheduler.record(job_id)
+            queue_time = record.queue_time_s or 0.0
+            run_time = record.run_time_s or 0.0
+        except UnknownJobError:
+            # The record was retired (max_history) between resolving the
+            # future and snapshotting timings; the result itself is intact.
+            queue_time = run_time = 0.0
+        return replace(outcome, job_id=job_id,
+                       queue_time_s=queue_time, run_time_s=run_time)
+
+    def gather(self, job_ids: Sequence[int],
+               timeout: Optional[float] = None) -> List[ServiceResult]:
+        """Results for ``job_ids``, in the given (submission) order."""
+        return [self.result(job_id, timeout) for job_id in job_ids]
+
+    # -- synchronous conveniences --------------------------------------
+    def optimise(self, graph: Graph, optimiser: str = "taso",
+                 config: Optional[Mapping[str, Any]] = None,
+                 model_name: str = "", use_cache: bool = True,
+                 timeout: Optional[float] = None) -> ServiceResult:
+        """submit + result in one call."""
+        job_id = self.submit(graph, optimiser=optimiser, config=config,
+                             model_name=model_name, use_cache=use_cache)
+        return self.result(job_id, timeout)
+
+    def optimise_batch(self, jobs: Iterable[BatchItem],
+                       optimiser: str = "taso",
+                       config: Optional[Mapping[str, Any]] = None,
+                       use_cache: bool = True,
+                       timeout: Optional[float] = None) -> List[ServiceResult]:
+        """submit_batch + gather in one call (results in submission order)."""
+        job_ids = self.submit_batch(jobs, optimiser=optimiser, config=config,
+                                    use_cache=use_cache)
+        return self.gather(job_ids, timeout)
+
+    # -- introspection / lifecycle -------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Service counters: worker pool, job states, cache accounting."""
+        return {
+            "workers": self.scheduler.num_workers,
+            "use_processes": self.scheduler.use_processes,
+            "jobs": self.scheduler.counts(),
+            "cache_entries": len(self.cache),
+            "cache": self.cache.stats.to_dict(),
+        }
+
+    def close(self, wait: bool = True) -> None:
+        self.scheduler.shutdown(wait=wait)
+
+    def __enter__(self) -> "OptimisationService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return (f"OptimisationService(workers={self.scheduler.num_workers}, "
+                f"cache={self.cache!r})")

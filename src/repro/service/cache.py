@@ -1,0 +1,312 @@
+"""Canonical fingerprint cache for optimisation results.
+
+A *fingerprint* identifies an optimisation request up to everything that can
+change its outcome: the input graph (via :meth:`Graph.structural_hash`, which
+is invariant to node-id relabelling), the optimiser name, and a canonical
+digest of the optimiser config.  Two callers submitting the same model built
+through different code paths therefore share one cache slot.
+
+Results live in an in-memory LRU tier and are optionally mirrored to a
+directory of JSON documents (built on :mod:`repro.ir.serialize`), so a warmed
+cache survives the process and can be shipped between machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..ir.graph import Graph
+from ..ir.serialize import graph_from_dict, graph_to_dict
+from ..search.result import SearchResult
+
+__all__ = ["CacheEntry", "CacheStats", "FingerprintCache",
+           "request_fingerprint"]
+
+_ENTRY_VERSION = 1
+
+
+def _freeze(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-compatible form.
+
+    Primitives pass through; containers are recursed with sorted keys;
+    arbitrary objects contribute their class name plus public attributes, so
+    two equivalently-configured instances digest identically regardless of
+    identity or memory address.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_freeze(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _freeze(v)
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    state = getattr(value, "__dict__", None)
+    if isinstance(state, dict):
+        public = {k: _freeze(v) for k, v in sorted(state.items())
+                  if not k.startswith("_")}
+        return {"__class__": type(value).__name__, **public}
+    return type(value).__name__
+
+
+def request_fingerprint(graph: Graph, optimiser: str,
+                        config: Optional[Mapping[str, Any]] = None) -> str:
+    """The canonical cache key for optimising ``graph`` with ``optimiser``."""
+    payload = {
+        "graph": graph.structural_hash(),
+        "optimiser": str(optimiser).lower(),
+        "config": _freeze(dict(config or {})),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`FingerprintCache`."""
+
+    memory_hits: int = 0
+    persistent_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.persistent_hits
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "memory_hits": self.memory_hits,
+            "persistent_hits": self.persistent_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimisation outcome.
+
+    The *input* graph is deliberately not stored: the fingerprint already
+    identifies it, and the submitting caller supplies it when the entry is
+    rehydrated into a :class:`SearchResult`.
+    """
+
+    fingerprint: str
+    optimiser: str
+    model: str
+    final_graph: Graph
+    initial_latency_ms: float
+    final_latency_ms: float
+    initial_cost_ms: float
+    final_cost_ms: float
+    search_time_s: float
+    applied_rules: List[str] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, fingerprint: str, result: SearchResult) -> "CacheEntry":
+        return cls(
+            fingerprint=fingerprint,
+            optimiser=result.optimiser,
+            model=result.model,
+            final_graph=result.final_graph,
+            initial_latency_ms=result.initial_latency_ms,
+            final_latency_ms=result.final_latency_ms,
+            initial_cost_ms=result.initial_cost_ms,
+            final_cost_ms=result.final_cost_ms,
+            search_time_s=result.optimisation_time_s,
+            applied_rules=list(result.applied_rules),
+            stats=dict(result.stats),
+        )
+
+    def to_result(self, initial_graph: Graph,
+                  retrieval_time_s: float = 0.0,
+                  model_name: str = "") -> SearchResult:
+        """Rehydrate into a :class:`SearchResult` for the submitted graph.
+
+        ``optimisation_time_s`` reports the (tiny, but nonzero) retrieval
+        time; the original search cost is kept under ``stats["search_time_s"]``.
+        ``model_name`` relabels the result for the requesting caller —
+        structurally identical graphs submitted under different names share
+        the entry but keep their own label.
+        """
+        return SearchResult(
+            optimiser=self.optimiser,
+            model=model_name or self.model,
+            initial_graph=initial_graph,
+            final_graph=self.final_graph,
+            initial_latency_ms=self.initial_latency_ms,
+            final_latency_ms=self.final_latency_ms,
+            initial_cost_ms=self.initial_cost_ms,
+            final_cost_ms=self.final_cost_ms,
+            optimisation_time_s=max(retrieval_time_s, 1e-9),
+            applied_rules=list(self.applied_rules),
+            stats={**self.stats, "cache_hit": 1.0,
+                   "search_time_s": self.search_time_s},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "entry_version": _ENTRY_VERSION,
+            "fingerprint": self.fingerprint,
+            "optimiser": self.optimiser,
+            "model": self.model,
+            "final_graph": graph_to_dict(self.final_graph),
+            "initial_latency_ms": self.initial_latency_ms,
+            "final_latency_ms": self.final_latency_ms,
+            "initial_cost_ms": self.initial_cost_ms,
+            "final_cost_ms": self.final_cost_ms,
+            "search_time_s": self.search_time_s,
+            "applied_rules": list(self.applied_rules),
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CacheEntry":
+        if data.get("entry_version") != _ENTRY_VERSION:
+            raise ValueError(
+                f"unsupported cache entry version {data.get('entry_version')}")
+        return cls(
+            fingerprint=data["fingerprint"],
+            optimiser=data["optimiser"],
+            model=data["model"],
+            final_graph=graph_from_dict(data["final_graph"]),
+            initial_latency_ms=float(data["initial_latency_ms"]),
+            final_latency_ms=float(data["final_latency_ms"]),
+            initial_cost_ms=float(data["initial_cost_ms"]),
+            final_cost_ms=float(data["final_cost_ms"]),
+            search_time_s=float(data["search_time_s"]),
+            applied_rules=list(data.get("applied_rules", [])),
+            stats=dict(data.get("stats", {})),
+        )
+
+
+class FingerprintCache:
+    """Two-tier (LRU memory + JSON directory) cache of optimisation results.
+
+    Thread-safe: scheduler workers and the submitting thread hit it
+    concurrently.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries in the in-memory tier (LRU eviction beyond it).
+    cache_dir:
+        Optional directory for the persistent tier.  Entries evicted from
+        memory remain on disk and are transparently reloaded on access.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 cache_dir: Optional[Union[str, Path]] = None):
+        self.capacity = max(1, int(capacity))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    # -- lookup --------------------------------------------------------
+    def fingerprint(self, graph: Graph, optimiser: str,
+                    config: Optional[Mapping[str, Any]] = None) -> str:
+        return request_fingerprint(graph, optimiser, config)
+
+    def get(self, fingerprint: str) -> Optional[CacheEntry]:
+        """Return the cached entry or ``None``; updates hit/miss accounting."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.memory_hits += 1
+                return entry
+        # Disk I/O happens outside the lock so a slow persistent load cannot
+        # stall concurrent admission-time lookups.
+        entry = self._load_persistent(fingerprint)
+        with self._lock:
+            if entry is not None:
+                self.stats.persistent_hits += 1
+                self._insert(fingerprint, entry)
+            else:
+                self.stats.misses += 1
+            return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert (or refresh) an entry in both tiers."""
+        with self._lock:
+            self.stats.puts += 1
+            self._insert(entry.fingerprint, entry)
+        # Serialising the graph to the persistent tier stays outside the
+        # lock for the same reason as in :meth:`get`.
+        self._store_persistent(entry)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Presence probe in either tier — no hit/miss accounting."""
+        with self._lock:
+            if fingerprint in self._entries:
+                return True
+        return self._persistent_path(fingerprint) is not None and \
+            self._persistent_path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self, persistent: bool = False) -> None:
+        """Drop the memory tier; also wipe disk entries if ``persistent``."""
+        with self._lock:
+            self._entries.clear()
+            if persistent and self.cache_dir is not None:
+                for path in self.cache_dir.glob("*.json"):
+                    path.unlink(missing_ok=True)
+
+    # -- internals -----------------------------------------------------
+    def _insert(self, fingerprint: str, entry: CacheEntry) -> None:
+        self._entries[fingerprint] = entry
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _persistent_path(self, fingerprint: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def _load_persistent(self, fingerprint: str) -> Optional[CacheEntry]:
+        path = self._persistent_path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            return CacheEntry.from_dict(json.loads(path.read_text()))
+        except Exception:  # corrupt / stale file: treat as a miss
+            return None
+
+    def _store_persistent(self, entry: CacheEntry) -> None:
+        path = self._persistent_path(entry.fingerprint)
+        if path is None:
+            return
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry.to_dict()))
+        tmp.replace(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        tier = f", dir={str(self.cache_dir)!r}" if self.cache_dir else ""
+        return (f"FingerprintCache(entries={len(self)}/{self.capacity}"
+                f"{tier}, hits={self.stats.hits}, misses={self.stats.misses})")

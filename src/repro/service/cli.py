@@ -1,0 +1,132 @@
+"""Command-line front end for the optimisation service.
+
+Examples::
+
+    python -m repro.service squeezenet bert --optimiser taso --workers 4
+    python -m repro.service squeezenet --repeat 2 --cache-dir /tmp/repro-cache
+    python -m repro.service --list-optimisers
+    python -m repro.service vit -o tensat --config round_limit=3
+
+Repeated rounds (``--repeat``) re-submit the same batch and therefore hit the
+warm fingerprint cache — the printed per-job times show the cold/warm gap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+from typing import Any, Dict, List, Optional, Sequence
+
+from .api import OptimisationService
+from .registry import default_config, list_optimisers, optimiser_spec
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Optimise model-zoo graphs through the serving layer.")
+    parser.add_argument("models", nargs="*", default=[],
+                        help="model-zoo names to optimise (default: squeezenet)")
+    parser.add_argument("-o", "--optimiser", default="taso",
+                        help="registered optimiser name (default: taso)")
+    parser.add_argument("--config", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="optimiser config override (repeatable)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker pool size (default: 4)")
+    parser.add_argument("--processes", action="store_true",
+                        help="use a process pool instead of threads")
+    parser.add_argument("--max-pending", type=int, default=256,
+                        help="bounded admission queue size (default: 256)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the persistent cache tier")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the fingerprint cache entirely")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="submit the batch N times (warm rounds hit the cache)")
+    parser.add_argument("--full", action="store_true",
+                        help="build full-size models instead of the reduced "
+                             "experiment sizes")
+    parser.add_argument("--list-optimisers", action="store_true",
+                        help="print the optimiser registry and exit")
+    parser.add_argument("--list-models", action="store_true",
+                        help="print the model zoo and exit")
+    return parser
+
+
+def _parse_config(pairs: Sequence[str]) -> Dict[str, Any]:
+    config: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--config expects KEY=VALUE, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            config[key.strip()] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            config[key.strip()] = raw
+    return config
+
+
+def _print_optimisers() -> None:
+    for name in list_optimisers():
+        spec = optimiser_spec(name)
+        print(f"{name:10s} {spec.description}")
+        print(f"{'':10s}   defaults: {default_config(name)}")
+
+
+def _print_models() -> None:
+    from ..models.registry import MODEL_REGISTRY
+    for name, info in sorted(MODEL_REGISTRY.items()):
+        print(f"{name:14s} [{info.family}] {info.description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_optimisers:
+        _print_optimisers()
+        return 0
+    if args.list_models:
+        _print_models()
+        return 0
+
+    from ..experiments.common import small_model_kwargs
+    from ..models.registry import build_model
+
+    config = _parse_config(args.config)
+    names: List[str] = args.models or ["squeezenet"]
+    try:
+        optimiser_spec(args.optimiser)
+        graphs = []
+        for name in names:
+            kwargs = {} if args.full else small_model_kwargs(name)
+            graphs.append((build_model(name, **kwargs), name))
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    with OptimisationService(num_workers=args.workers,
+                             cache_dir=args.cache_dir,
+                             max_pending=args.max_pending,
+                             use_processes=args.processes) as service:
+        for round_no in range(1, max(1, args.repeat) + 1):
+            job_ids = service.submit_batch(graphs, optimiser=args.optimiser,
+                                           config=config,
+                                           use_cache=not args.no_cache)
+            for result in service.gather(job_ids):
+                origin = "cache-hit" if result.cache_hit else "searched"
+                search = result.search
+                print(f"[round {round_no}] {search.optimiser:8s} "
+                      f"{search.model:14s} "
+                      f"{search.initial_latency_ms:8.3f} ms -> "
+                      f"{search.final_latency_ms:8.3f} ms "
+                      f"({search.speedup_percent:+6.2f}%)  "
+                      f"{search.optimisation_time_s:8.4f}s  {origin}")
+        stats = service.stats()
+    cache = stats["cache"]
+    print(f"jobs: {stats['jobs']}")
+    print(f"cache: {cache['memory_hits']} memory + {cache['persistent_hits']} "
+          f"persistent hits, {cache['misses']} misses "
+          f"({100.0 * cache['hit_rate']:.1f}% hit rate), "
+          f"{stats['cache_entries']} entries resident")
+    return 0

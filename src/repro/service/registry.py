@@ -1,0 +1,126 @@
+"""Optimiser registry: dispatch optimisers by *name* with default configs.
+
+The serving layer describes jobs as plain data — graph + optimiser name +
+config dict — so that requests can be fingerprinted, cached, queued and
+executed by any worker.  That requires a level of indirection between the
+name and the search class: this registry.  Every optimiser in
+:mod:`repro.search` plus the X-RLflow agent is pre-registered; downstream
+code can add its own via :func:`register_optimiser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping
+
+__all__ = ["OptimiserSpec", "register_optimiser", "optimiser_spec",
+           "create_optimiser", "default_config", "list_optimisers"]
+
+
+@dataclass(frozen=True)
+class OptimiserSpec:
+    """One registry entry: how to build an optimiser and its default knobs."""
+
+    name: str
+    factory: Callable[..., Any]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def create(self, **overrides: Any) -> Any:
+        """Build a fresh optimiser instance with ``defaults | overrides``."""
+        config = {**self.defaults, **overrides}
+        return self.factory(**config)
+
+
+_REGISTRY: Dict[str, OptimiserSpec] = {}
+
+
+def register_optimiser(name: str, factory: Callable[..., Any],
+                       defaults: Mapping[str, Any] = None,
+                       description: str = "",
+                       replace: bool = False) -> OptimiserSpec:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Raises ``ValueError`` if the name is taken, unless ``replace=True``.
+    """
+    key = str(name).lower()
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"optimiser {name!r} is already registered "
+            f"(pass replace=True to override)")
+    spec = OptimiserSpec(name=key, factory=factory,
+                         defaults=dict(defaults or {}),
+                         description=description)
+    _REGISTRY[key] = spec
+    return spec
+
+
+def optimiser_spec(name: str) -> OptimiserSpec:
+    """Look up a registry entry; ``KeyError`` lists the available names."""
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown optimiser {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]
+
+
+def create_optimiser(name: str, **overrides: Any) -> Any:
+    """Build a fresh optimiser by name.
+
+    Search objects are stateful (priority queues, e-graph populations, RL
+    agents), so callers construct one per job/worker rather than sharing.
+    """
+    return optimiser_spec(name).create(**overrides)
+
+
+def default_config(name: str) -> Dict[str, Any]:
+    """The registered default config for ``name`` (a copy, safe to mutate)."""
+    return dict(optimiser_spec(name).defaults)
+
+
+def list_optimisers() -> List[str]:
+    """Sorted names of every registered optimiser."""
+    return sorted(_REGISTRY)
+
+
+def _build_xrlflow(e2e=None, **config):
+    """Factory adapting config-dict kwargs to the XRLflow(config) signature."""
+    from ..core.config import XRLflowConfig
+    from ..core.xrlflow import XRLflow
+    return XRLflow(XRLflowConfig.fast(**config), e2e=e2e)
+
+
+def _register_builtins() -> None:
+    from ..search.greedy import GreedyOptimizer, TASOOptimizer
+    from ..search.pet import PETOptimizer
+    from ..search.random_search import RandomSearchOptimizer
+    from ..search.tensat import TensatOptimizer
+
+    register_optimiser(
+        "taso", TASOOptimizer,
+        {"alpha": 1.05, "max_iterations": 100, "queue_capacity": 200},
+        "TASO cost-model-driven backtracking search")
+    register_optimiser(
+        "greedy", GreedyOptimizer,
+        {"max_iterations": 100},
+        "pure greedy hill climbing (TASO with alpha=1)")
+    register_optimiser(
+        "tensat", TensatOptimizer,
+        {"node_limit": 20000, "round_limit": 6, "multi_pattern_rounds": 1},
+        "Tensat equality saturation over a bounded rewrite space")
+    register_optimiser(
+        "pet", PETOptimizer,
+        {"max_iterations": 100},
+        "PET partially-equivalent transformations")
+    register_optimiser(
+        "random", RandomSearchOptimizer,
+        {"num_walks": 5, "horizon": 30, "seed": 0},
+        "random-walk baseline")
+    register_optimiser(
+        "xrlflow", _build_xrlflow,
+        {"num_episodes": 6, "max_steps": 18, "max_candidates": 24,
+         "update_frequency": 3, "ppo_epochs": 1, "eval_episodes": 3},
+        "X-RLflow graph-RL superoptimiser (fast training config)")
+
+
+_register_builtins()

@@ -1,0 +1,326 @@
+"""Bounded job scheduler with submit / poll / result semantics.
+
+Wraps a :mod:`concurrent.futures` worker pool with the bookkeeping a serving
+layer needs: integer job ids, per-job state and timing records, a bounded
+admission queue (``QueueFullError`` instead of unbounded memory growth), and
+completion callbacks used by the service to populate the fingerprint cache.
+
+Two pool flavours:
+
+* threads (default) — cheap dispatch, shared in-process cache; fine for the
+  I/O-light search jobs and for cache-dominated traffic.
+* processes (``use_processes=True``) — true parallelism for the pure-Python
+  searches, at the cost of pickling graphs across the boundary.  Submitted
+  callables must then be module-level functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent import futures
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["JobScheduler", "JobState", "JobRecord", "QueueFullError",
+           "UnknownJobError"]
+
+
+class JobState(str, Enum):
+    """Lifecycle of one job: pending → running → (succeeded|failed|cancelled)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.SUCCEEDED, JobState.FAILED,
+                        JobState.CANCELLED)
+
+
+class QueueFullError(RuntimeError):
+    """Raised on submit when the bounded admission queue is at capacity."""
+
+
+class UnknownJobError(KeyError):
+    """Raised when polling a job id this scheduler never issued."""
+
+
+@dataclass
+class JobRecord:
+    """State and timing snapshot of one job."""
+
+    job_id: int
+    label: str
+    state: JobState
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def queue_time_s(self) -> Optional[float]:
+        # started_at is unknown for process-pool jobs (the transition happens
+        # in another process); report None rather than misattributing the
+        # whole queue+run duration to queueing.
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_time_s(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class JobScheduler:
+    """Submit/poll/result façade over a bounded worker pool.
+
+    Parameters
+    ----------
+    num_workers:
+        Size of the worker pool.
+    max_pending:
+        Maximum simultaneously *open* (pending or running) jobs; further
+        submissions raise :class:`QueueFullError` so overload surfaces at
+        admission instead of as unbounded queue growth.
+    max_history:
+        How many *finished* jobs to retain (records + results).  Beyond it
+        the oldest terminal jobs are purged so a long-lived scheduler does
+        not pin every result graph it ever produced; polling a purged id
+        raises :class:`UnknownJobError`.
+    use_processes:
+        Run jobs in a process pool instead of threads (see module docstring).
+    """
+
+    def __init__(self, num_workers: int = 4, max_pending: int = 256,
+                 max_history: int = 1024, use_processes: bool = False):
+        self.num_workers = max(1, int(num_workers))
+        self.max_pending = max(1, int(max_pending))
+        self.max_history = max(1, int(max_history))
+        self.use_processes = bool(use_processes)
+        if self.use_processes:
+            self._executor: futures.Executor = futures.ProcessPoolExecutor(
+                max_workers=self.num_workers)
+        else:
+            self._executor = futures.ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="repro-worker")
+        self._lock = threading.RLock()
+        self._records: Dict[int, JobRecord] = {}
+        self._futures: Dict[int, futures.Future] = {}
+        self._on_success: Dict[int, Callable[[Any], None]] = {}
+        self._terminal: "deque[int]" = deque()
+        self._open_jobs = 0
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- submission ----------------------------------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any, label: str = "",
+               on_success: Optional[Callable[[Any], None]] = None,
+               **kwargs: Any) -> int:
+        """Queue ``fn(*args, **kwargs)``; returns the job id.
+
+        ``on_success`` runs exactly once with the job's result after it
+        succeeds — in a pool/callback thread of the submitting process, or
+        in the caller's thread when :meth:`result` finalises the job first.
+        Either way it has completed before :meth:`result` returns, so e.g. a
+        cache populated by the callback is visible to whoever observed the
+        result.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            if self._open_jobs >= self.max_pending:
+                raise QueueFullError(
+                    f"job queue is full ({self._open_jobs} open jobs, "
+                    f"max_pending={self.max_pending})")
+            job_id = next(self._ids)
+            self._records[job_id] = JobRecord(
+                job_id=job_id,
+                label=label or getattr(fn, "__name__", "job"),
+                state=JobState.PENDING,
+                submitted_at=time.monotonic(),
+            )
+            self._open_jobs += 1
+            try:
+                if self.use_processes:
+                    # The running-state transition happens in another process
+                    # and cannot update our records; jobs jump pending →
+                    # terminal.
+                    future = self._executor.submit(fn, *args, **kwargs)
+                else:
+                    future = self._executor.submit(
+                        self._run_traced, job_id, fn, *args, **kwargs)
+            except BaseException:
+                self._open_jobs -= 1
+                del self._records[job_id]
+                raise
+            self._futures[job_id] = future
+            if on_success is not None:
+                self._on_success[job_id] = on_success
+        future.add_done_callback(
+            lambda f, job_id=job_id: self._finalise(job_id, f))
+        return job_id
+
+    def submit_completed(self, result: Any, label: str = "") -> int:
+        """Register an already-available result as a finished job.
+
+        Used for admission-time cache hits: the job never touches the worker
+        pool (no dispatch, no pickling), it is born ``SUCCEEDED`` and its
+        result is immediately available via :meth:`result`.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            job_id = next(self._ids)
+            now = time.monotonic()
+            self._records[job_id] = JobRecord(
+                job_id=job_id, label=label or "completed",
+                state=JobState.SUCCEEDED, submitted_at=now,
+                started_at=now, finished_at=now)
+            future: futures.Future = futures.Future()
+            future.set_result(result)
+            self._futures[job_id] = future
+            self._retire_locked(job_id)
+        return job_id
+
+    def _retire_locked(self, job_id: int) -> None:
+        """Track a terminal job and purge the oldest beyond ``max_history``."""
+        self._terminal.append(job_id)
+        while len(self._terminal) > self.max_history:
+            retired = self._terminal.popleft()
+            self._records.pop(retired, None)
+            self._futures.pop(retired, None)
+
+    def _run_traced(self, job_id: int, fn: Callable[..., Any],
+                    *args: Any, **kwargs: Any) -> Any:
+        with self._lock:
+            record = self._records[job_id]
+            record.state = JobState.RUNNING
+            record.started_at = time.monotonic()
+        return fn(*args, **kwargs)
+
+    def _finalise(self, job_id: int, future: futures.Future) -> None:
+        """Record a finished job's terminal state; idempotent.
+
+        Runs from the future's done callback *and* synchronously from
+        :meth:`result` / :meth:`wait_all` — ``Future.set_result`` wakes
+        ``result()`` waiters before done callbacks fire, so without the
+        synchronous path a caller could observe a result whose record was
+        still RUNNING and whose ``on_success`` (cache population) had not
+        happened yet.
+        """
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None or record.state.is_terminal:
+                return
+            record.finished_at = time.monotonic()
+            if future.cancelled():
+                record.state = JobState.CANCELLED
+            elif future.exception() is not None:
+                record.state = JobState.FAILED
+                record.error = repr(future.exception())
+            else:
+                record.state = JobState.SUCCEEDED
+            state = record.state
+            self._open_jobs -= 1
+            # Retire the oldest finished jobs so a long-lived scheduler does
+            # not pin every result it ever produced.
+            self._retire_locked(job_id)
+            on_success = self._on_success.pop(job_id, None)
+        if on_success is not None and state is JobState.SUCCEEDED:
+            try:
+                on_success(future.result())
+            except Exception:
+                # A cache-population failure must not poison the job result.
+                pass
+
+    # -- polling -------------------------------------------------------
+    def poll(self, job_id: int) -> JobState:
+        """Current state of ``job_id`` (non-blocking)."""
+        return self.record(job_id).state
+
+    def record(self, job_id: int) -> JobRecord:
+        """Snapshot of the job's record (a copy, safe to keep)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise UnknownJobError(job_id)
+            return dataclasses.replace(record)
+
+    def result(self, job_id: int, timeout: Optional[float] = None) -> Any:
+        """Block until the job finishes; re-raises the job's exception.
+
+        The job's record is terminal and its ``on_success`` callback has run
+        by the time this returns (or raises the job's error).
+        """
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is None:
+            raise UnknownJobError(job_id)
+        try:
+            return future.result(timeout)
+        finally:
+            if future.done():  # not a TimeoutError: finalise synchronously
+                self._finalise(job_id, future)
+
+    def cancel(self, job_id: int) -> bool:
+        """Try to cancel a still-pending job; returns whether it worked."""
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is None:
+            raise UnknownJobError(job_id)
+        return future.cancel()
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: count}`` over every job this scheduler has seen."""
+        with self._lock:
+            tally = {state.value: 0 for state in JobState}
+            for record in self._records.values():
+                tally[record.state.value] += 1
+            return tally
+
+    def wait_all(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every submitted job; True if all finished in time.
+
+        Finished jobs are finalised (records terminal, callbacks run)
+        before this returns.
+        """
+        with self._lock:
+            snapshot = dict(self._futures)
+        futures.wait([f for f in snapshot.values() if not f.done()],
+                     timeout=timeout)
+        all_done = True
+        for job_id, future in snapshot.items():
+            if future.done():
+                self._finalise(job_id, future)
+            else:
+                all_done = False
+        return all_done
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobScheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        kind = "processes" if self.use_processes else "threads"
+        return (f"JobScheduler({self.num_workers} {kind}, "
+                f"max_pending={self.max_pending}, jobs={self.counts()})")

@@ -1,0 +1,90 @@
+"""Worker-side job execution: one fresh optimiser per job.
+
+Search objects are stateful (priority queues, e-graph populations, RL agents)
+and must not be shared between concurrent jobs, so each worker constructs its
+optimiser from the registry per request.  The only state shared across jobs is
+the fingerprint cache, which the service consults at admission time — workers
+themselves are cache-oblivious, which keeps them trivially usable from a
+process pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..ir.graph import Graph
+from ..search.result import SearchResult
+from .cache import CacheEntry, request_fingerprint
+from .registry import create_optimiser
+
+__all__ = ["JobRequest", "ServiceResult", "execute_request", "cached_result"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A fully self-describing optimisation job: graph + optimiser + config."""
+
+    graph: Graph
+    optimiser: str = "taso"
+    config: Mapping[str, Any] = field(default_factory=dict)
+    model_name: str = ""
+    use_cache: bool = True
+
+    @property
+    def label(self) -> str:
+        return f"{self.optimiser}:{self.model_name or self.graph.name}"
+
+    def fingerprint(self) -> str:
+        return request_fingerprint(self.graph, self.optimiser, self.config)
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """What the service hands back for one job."""
+
+    search: SearchResult
+    cache_hit: bool
+    fingerprint: str
+    job_id: int = -1
+    queue_time_s: float = 0.0
+    run_time_s: float = 0.0
+
+    @property
+    def graph(self) -> Graph:
+        """The optimised graph."""
+        return self.search.final_graph
+
+    @property
+    def speedup(self) -> float:
+        return self.search.speedup
+
+    def summary(self) -> str:
+        origin = "cache" if self.cache_hit else "search"
+        return f"[job {self.job_id} via {origin}] {self.search.summary()}"
+
+
+def execute_request(request: JobRequest,
+                    fingerprint: str = "") -> ServiceResult:
+    """Run one search job from scratch (no cache consultation).
+
+    ``fingerprint`` lets the caller pass the admission-time fingerprint
+    along instead of re-hashing the whole graph in the worker.
+    """
+    optimiser = create_optimiser(request.optimiser, **dict(request.config))
+    result = optimiser.optimise(request.graph,
+                                request.model_name or request.graph.name)
+    return ServiceResult(search=result, cache_hit=False,
+                         fingerprint=fingerprint or request.fingerprint())
+
+
+def cached_result(request: JobRequest, entry: CacheEntry,
+                  retrieval_time_s: float = 0.0) -> ServiceResult:
+    """Rehydrate a cache entry into the result for ``request``."""
+    return ServiceResult(
+        search=entry.to_result(request.graph, retrieval_time_s,
+                               model_name=request.model_name
+                               or request.graph.name),
+        cache_hit=True,
+        fingerprint=entry.fingerprint,
+    )

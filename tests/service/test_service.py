@@ -1,0 +1,332 @@
+"""Tests for the optimisation service: registry dispatch, fingerprint cache
+accounting, scheduler semantics, batch ordering and parallel/serial
+equivalence."""
+
+import time
+
+import pytest
+
+from repro.experiments import build_small_model
+from repro.models import MODEL_REGISTRY
+from repro.search import available_optimisers, get_optimiser
+from repro.service import (CacheEntry, FingerprintCache, JobScheduler,
+                           JobState, OptimisationService, QueueFullError,
+                           UnknownJobError, create_optimiser, default_config,
+                           list_optimisers, register_optimiser,
+                           request_fingerprint)
+from repro.service.worker import JobRequest, execute_request
+
+TASO_FAST = {"max_iterations": 10}
+
+
+@pytest.fixture(scope="module")
+def squeezenet():
+    return build_small_model("squeezenet")
+
+
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_every_search_optimiser_is_registered(self):
+        assert {"taso", "greedy", "tensat", "pet", "random",
+                "xrlflow"} <= set(list_optimisers())
+
+    def test_create_applies_defaults_and_overrides(self):
+        taso = create_optimiser("taso")
+        assert taso.max_iterations == 100
+        assert create_optimiser("taso", max_iterations=7).max_iterations == 7
+        # Defaults are copies: mutating them must not leak into the registry.
+        default_config("taso")["max_iterations"] = 1
+        assert default_config("taso")["max_iterations"] == 100
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="taso"):
+            create_optimiser("does-not-exist")
+
+    def test_duplicate_registration_guard(self):
+        with pytest.raises(ValueError):
+            register_optimiser("taso", lambda: None)
+        register_optimiser("taso", type(create_optimiser("taso")),
+                           default_config("taso"), replace=True)
+
+    def test_search_package_hookup(self):
+        assert available_optimisers() == list_optimisers()
+        assert get_optimiser("greedy", max_iterations=3).max_iterations == 3
+
+
+# ---------------------------------------------------------------------------
+class TestFingerprint:
+    def test_identical_requests_share_a_fingerprint(self, squeezenet):
+        rebuilt = build_small_model("squeezenet")
+        assert request_fingerprint(squeezenet, "taso", {"max_iterations": 5}) \
+            == request_fingerprint(rebuilt, "taso", {"max_iterations": 5})
+
+    def test_config_key_order_is_canonical(self, squeezenet):
+        a = request_fingerprint(squeezenet, "taso", {"alpha": 1.1, "max_iterations": 5})
+        b = request_fingerprint(squeezenet, "taso", {"max_iterations": 5, "alpha": 1.1})
+        assert a == b
+
+    def test_fingerprint_varies_with_inputs(self, squeezenet, mlp_graph):
+        base = request_fingerprint(squeezenet, "taso", TASO_FAST)
+        assert request_fingerprint(squeezenet, "tensat", TASO_FAST) != base
+        assert request_fingerprint(squeezenet, "taso", {"max_iterations": 11}) != base
+        assert request_fingerprint(mlp_graph, "taso", TASO_FAST) != base
+
+
+# ---------------------------------------------------------------------------
+def _entry_for(graph, tag, fingerprint=None):
+    request = JobRequest(graph=graph, optimiser="taso",
+                         config={"max_iterations": 3}, model_name=tag)
+    result = execute_request(request)
+    return CacheEntry.from_result(fingerprint or request.fingerprint(),
+                                  result.search)
+
+
+class TestFingerprintCache:
+    def test_hit_miss_accounting(self, mlp_graph):
+        cache = FingerprintCache(capacity=4)
+        entry = _entry_for(mlp_graph, "mlp")
+        assert cache.get(entry.fingerprint) is None
+        cache.put(entry)
+        hit = cache.get(entry.fingerprint)
+        assert hit is entry
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self, mlp_graph, conv_graph, fire_graph):
+        cache = FingerprintCache(capacity=2)
+        entries = [_entry_for(g, t) for g, t in
+                   [(mlp_graph, "mlp"), (conv_graph, "conv"),
+                    (fire_graph, "fire")]]
+        for entry in entries:
+            cache.put(entry)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(entries[0].fingerprint) is None  # oldest evicted
+        assert cache.get(entries[2].fingerprint) is not None
+
+    def test_persistent_tier_survives_the_process(self, tmp_path, mlp_graph):
+        entry = _entry_for(mlp_graph, "mlp")
+        FingerprintCache(capacity=4, cache_dir=tmp_path).put(entry)
+        fresh = FingerprintCache(capacity=4, cache_dir=tmp_path)
+        loaded = fresh.get(entry.fingerprint)
+        assert loaded is not None
+        assert fresh.stats.persistent_hits == 1
+        assert loaded.final_graph.structural_hash() \
+            == entry.final_graph.structural_hash()
+        assert loaded.applied_rules == entry.applied_rules
+
+    def test_corrupt_persistent_entry_is_a_miss(self, tmp_path, mlp_graph):
+        entry = _entry_for(mlp_graph, "mlp")
+        (tmp_path / f"{entry.fingerprint}.json").write_text("{not json")
+        cache = FingerprintCache(cache_dir=tmp_path)
+        assert cache.get(entry.fingerprint) is None
+        assert cache.stats.misses == 1
+
+    def test_rehydrated_result_reports_cache_hit(self, mlp_graph):
+        entry = _entry_for(mlp_graph, "mlp")
+        result = entry.to_result(mlp_graph, retrieval_time_s=0.001)
+        assert result.stats["cache_hit"] == 1.0
+        assert result.optimisation_time_s > 0
+        assert result.initial_graph is mlp_graph
+
+
+# ---------------------------------------------------------------------------
+class TestJobScheduler:
+    def test_submit_poll_result_lifecycle(self):
+        with JobScheduler(num_workers=2) as scheduler:
+            job_id = scheduler.submit(lambda x: x * 2, 21, label="double")
+            assert scheduler.result(job_id) == 42
+            assert scheduler.poll(job_id) is JobState.SUCCEEDED
+            record = scheduler.record(job_id)
+            assert record.label == "double"
+            assert record.queue_time_s >= 0
+            assert record.run_time_s >= 0
+
+    def test_failure_is_reported_and_reraised(self):
+        def boom():
+            raise RuntimeError("search exploded")
+
+        with JobScheduler(num_workers=1) as scheduler:
+            job_id = scheduler.submit(boom)
+            with pytest.raises(RuntimeError, match="search exploded"):
+                scheduler.result(job_id)
+            assert scheduler.poll(job_id) is JobState.FAILED
+            assert "search exploded" in scheduler.record(job_id).error
+
+    def test_bounded_queue_rejects_overload(self):
+        import threading
+        release = threading.Event()
+        with JobScheduler(num_workers=1, max_pending=2) as scheduler:
+            ids = [scheduler.submit(release.wait) for _ in range(2)]
+            with pytest.raises(QueueFullError):
+                scheduler.submit(release.wait)
+            release.set()
+            assert scheduler.wait_all(timeout=10)
+            # Capacity frees up once jobs finish.
+            done_id = scheduler.submit(lambda: "ok")
+            assert scheduler.result(done_id) == "ok"
+            assert all(scheduler.poll(i) is JobState.SUCCEEDED for i in ids)
+
+    def test_unknown_job_id(self):
+        with JobScheduler(num_workers=1) as scheduler:
+            with pytest.raises(UnknownJobError):
+                scheduler.poll(999)
+
+
+# ---------------------------------------------------------------------------
+class TestOptimisationService:
+    def test_cache_hit_is_10x_faster_and_identical(self, squeezenet):
+        with OptimisationService(num_workers=2) as service:
+            started = time.perf_counter()
+            cold = service.optimise(squeezenet, "taso",
+                                    {"max_iterations": 25},
+                                    model_name="squeezenet")
+            cold_s = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = service.optimise(squeezenet, "taso",
+                                    {"max_iterations": 25},
+                                    model_name="squeezenet")
+            warm_s = time.perf_counter() - started
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.graph.structural_hash() == cold.graph.structural_hash()
+        assert warm.search.applied_rules == cold.search.applied_rules
+        assert cold_s >= 10.0 * warm_s, \
+            f"warm hit not 10x faster: cold={cold_s:.4f}s warm={warm_s:.4f}s"
+
+    def test_cache_accounting_miss_then_hit(self, mlp_graph):
+        with OptimisationService(num_workers=1) as service:
+            service.optimise(mlp_graph, "taso", TASO_FAST)
+            service.optimise(mlp_graph, "taso", TASO_FAST)
+            # Different config digests are different cache slots.
+            service.optimise(mlp_graph, "taso", {"max_iterations": 4})
+            stats = service.stats()
+        assert stats["cache"]["misses"] == 2
+        assert stats["cache"]["memory_hits"] == 1
+        assert stats["cache"]["puts"] == 2
+        assert stats["jobs"]["succeeded"] == 3
+
+    def test_use_cache_false_bypasses_the_cache(self, mlp_graph):
+        with OptimisationService(num_workers=1) as service:
+            first = service.optimise(mlp_graph, "taso", TASO_FAST,
+                                     use_cache=False)
+            second = service.optimise(mlp_graph, "taso", TASO_FAST,
+                                      use_cache=False)
+            stats = service.stats()
+        assert not first.cache_hit and not second.cache_hit
+        assert stats["cache"]["misses"] == 0
+        assert stats["cache"]["memory_hits"] == 0
+        assert len(service.cache) == 0
+
+    def test_explicit_defaults_share_the_cache_slot(self, mlp_graph):
+        # Spelling the registry defaults out must hit the entry produced by
+        # omitting them (fingerprints use the effective config).
+        with OptimisationService(num_workers=1) as service:
+            cold = service.optimise(mlp_graph, "taso")
+            warm = service.optimise(mlp_graph, "taso", default_config("taso"))
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert cold.fingerprint == warm.fingerprint
+
+    def test_finished_jobs_are_retired_beyond_max_history(self, mlp_graph):
+        with JobScheduler(num_workers=1, max_history=3) as scheduler:
+            job_ids = [scheduler.submit(lambda i=i: i, label=f"j{i}")
+                       for i in range(6)]
+            assert scheduler.wait_all(timeout=10)
+            assert scheduler.result(job_ids[-1]) == 5
+            with pytest.raises(UnknownJobError):
+                scheduler.poll(job_ids[0])  # oldest terminal job retired
+            assert scheduler.poll(job_ids[-1]) is JobState.SUCCEEDED
+
+    def test_cache_hit_keeps_the_callers_model_name(self, mlp_graph):
+        with OptimisationService(num_workers=1) as service:
+            service.optimise(mlp_graph, "taso", TASO_FAST,
+                             model_name="original")
+            warm = service.optimise(mlp_graph, "taso", TASO_FAST,
+                                    model_name="alias")
+        assert warm.cache_hit
+        assert warm.search.model == "alias"
+
+    def test_failed_batch_admission_cancels_pending_jobs(self, mlp_graph):
+        import threading
+        release = threading.Event()
+        with OptimisationService(num_workers=1, max_pending=2) as service:
+            blocker = service.scheduler.submit(release.wait, label="blocker")
+            items = [(mlp_graph, "a"), (mlp_graph, "b"), (mlp_graph, "c")]
+            with pytest.raises(QueueFullError):
+                service.submit_batch(items, "taso", TASO_FAST,
+                                     use_cache=False)
+            release.set()
+            service.scheduler.result(blocker)
+            counts = service.scheduler.counts()
+        # The one admitted (still pending) job was cancelled on rollback.
+        assert counts["cancelled"] == 1
+        assert counts["succeeded"] == 1  # just the blocker
+
+    def test_batch_results_follow_submission_order(self):
+        names = ["vit", "squeezenet", "bert", "resnet18"]
+        graphs = [(build_small_model(name), name) for name in names]
+        with OptimisationService(num_workers=4) as service:
+            job_ids = service.submit_batch(graphs, "taso", TASO_FAST)
+            assert job_ids == sorted(job_ids)
+            results = service.gather(job_ids)
+        assert [r.search.model for r in results] == names
+        assert all(r.job_id == job_id
+                   for r, job_id in zip(results, job_ids))
+
+    def test_parallel_matches_serial_over_model_registry(self):
+        names = sorted(MODEL_REGISTRY)
+        graphs = {name: build_small_model(name) for name in names}
+
+        serial = {}
+        for name in names:
+            optimiser = create_optimiser("taso", **TASO_FAST)
+            serial[name] = optimiser.optimise(graphs[name], name)
+
+        with OptimisationService(num_workers=4) as service:
+            job_ids = service.submit_batch(
+                [(graphs[name], name) for name in names],
+                "taso", TASO_FAST, use_cache=False)
+            parallel = service.gather(job_ids)
+
+        for name, result in zip(names, parallel):
+            assert result.search.final_graph.structural_hash() \
+                == serial[name].final_graph.structural_hash(), \
+                f"parallel result diverged from serial on {name}"
+            assert result.search.final_cost_ms \
+                == pytest.approx(serial[name].final_cost_ms)
+
+    def test_process_pool_mode(self, mlp_graph):
+        with OptimisationService(num_workers=2, use_processes=True) as service:
+            result = service.optimise(mlp_graph, "taso", {"max_iterations": 5})
+        thread_opt = create_optimiser("taso", max_iterations=5)
+        assert result.search.final_graph.structural_hash() \
+            == thread_opt.optimise(mlp_graph).final_graph.structural_hash()
+
+    def test_unknown_optimiser_fails_at_submit(self, mlp_graph):
+        with OptimisationService(num_workers=1) as service:
+            with pytest.raises(KeyError):
+                service.submit(mlp_graph, optimiser="nope")
+
+    def test_failed_job_pollable_and_reraised(self, mlp_graph):
+        with OptimisationService(num_workers=1) as service:
+            # A config the optimiser constructor rejects fails in the worker.
+            job_id = service.submit(mlp_graph, "taso",
+                                    {"not_a_real_knob": True})
+            with pytest.raises(TypeError):
+                service.result(job_id)
+            assert service.poll(job_id) is JobState.FAILED
+
+    def test_shared_persistent_cache_between_services(self, tmp_path,
+                                                      squeezenet):
+        with OptimisationService(num_workers=1,
+                                 cache_dir=tmp_path) as service:
+            cold = service.optimise(squeezenet, "taso", TASO_FAST)
+        with OptimisationService(num_workers=1,
+                                 cache_dir=tmp_path) as service:
+            warm = service.optimise(squeezenet, "taso", TASO_FAST)
+            assert warm.cache_hit
+            assert service.cache.stats.persistent_hits == 1
+        assert warm.graph.structural_hash() == cold.graph.structural_hash()
