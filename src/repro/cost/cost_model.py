@@ -21,10 +21,11 @@ The true latency is produced by :class:`repro.cost.e2e.E2ESimulator`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..ir.graph import Graph, NodeId
+from ..ir.graph import Graph, GraphDelta, NodeId
 from ..ir.ops import OpType
 from .device import DeviceConfig, SimulatedDevice, default_device
 from .op_cost import is_zero_cost, op_flops, op_memory_bytes
@@ -84,6 +85,13 @@ class CostModel:
             small_kernel_flops=0.0,
             measurement_noise=0.0,
         ))
+        # Key for per-node cost tables carried on graphs: two cost models
+        # with identical parameters share (and may reuse) cached entries.
+        self._cache_key = ("node-cost",
+                           dataclasses.astuple(self.device.config),
+                           self.warm_cache_fraction,
+                           self.launch_amortisation,
+                           self.ignore_elementwise)
 
     # ------------------------------------------------------------------
     def node_cost_ms(self, graph: Graph, node_id: NodeId) -> float:
@@ -101,13 +109,78 @@ class CostModel:
         return self._ideal_device.kernel_time_ms(node.op_type, flops, bytes_moved)
 
     def estimate(self, graph: Graph) -> float:
-        """Total estimated latency of ``graph`` in milliseconds."""
+        """Total estimated latency of ``graph`` in milliseconds.
+
+        Always re-derives every node from scratch; the incremental search
+        paths use :meth:`estimate_cached` / :meth:`estimate_delta`, which are
+        bit-for-bit equal but only recompute mutated nodes.
+        """
         return self.breakdown(graph).total_ms
 
     def breakdown(self, graph: Graph) -> CostBreakdown:
         """Per-node cost estimates for ``graph``."""
         per_node = {nid: self.node_cost_ms(graph, nid) for nid in graph.nodes}
         return CostBreakdown(total_ms=sum(per_node.values()), per_node_ms=per_node)
+
+    # ------------------------------------------------------------------
+    # Incremental estimation
+    # ------------------------------------------------------------------
+    def estimate_cached(self, graph: Graph) -> float:
+        """Like :meth:`estimate`, but reusing per-node costs carried on the
+        graph.
+
+        ``Graph.copy`` hands the parent's per-node cost table to the copy and
+        graph mutations invalidate exactly the affected entries, so costing a
+        rewrite candidate only recomputes the handful of nodes its rule
+        touched.  Values and summation order are identical to
+        :meth:`estimate`, so the result is bit-for-bit equal.
+        """
+        table = graph.node_cache(self._cache_key)
+        node_cost = self.node_cost_ms
+        total = 0.0
+        for nid in graph.nodes:
+            value = table.get(nid)
+            if value is None:
+                value = node_cost(graph, nid)
+                table[nid] = value
+            total += value
+        return total
+
+    def estimate_delta(self, parent: Graph, child: Graph,
+                       parent_cost: Optional[float] = None,
+                       delta: Optional[GraphDelta] = None) -> float:
+        """Cost ``child`` as ``parent``'s total adjusted by the mutation delta.
+
+        Conceptually: parent cost, minus the costs of removed/rewired nodes,
+        plus the costs of added/rewired nodes.  The adjustment is applied to
+        the parent's *per-node* cost table rather than to the scalar total so
+        the result is bit-for-bit equal to a full :meth:`estimate` of the
+        child (same per-node values, same summation order).
+
+        ``delta`` defaults to the child's recorded mutation delta (see
+        :meth:`Graph.mutation_delta`); without one the child is fully
+        re-estimated.  ``parent_cost``, when given, short-circuits the empty
+        delta (no mutations — the graphs are identical).
+        """
+        delta = delta if delta is not None else child.mutation_delta()
+        if delta is None:
+            return self.estimate(child)
+        if parent_cost is not None and delta.is_empty:
+            return parent_cost
+        table = child.node_cache(self._cache_key)
+        if not table:
+            # The child did not carry the parent's table (e.g. it was built
+            # outside ``Graph.copy``): seed the unchanged nodes from the
+            # parent so only the delta is recomputed below.
+            parent_table = parent.node_cache(self._cache_key)
+            changed = delta.changed_nodes()
+            for nid in child.nodes:
+                if nid in changed:
+                    continue
+                value = parent_table.get(nid)
+                if value is not None:
+                    table[nid] = value
+        return self.estimate_cached(child)
 
     def __repr__(self) -> str:
         return (f"CostModel(device={self.device.config.name!r}, "

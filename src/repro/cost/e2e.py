@@ -22,6 +22,7 @@ effects that a sum-of-operators cost model cannot see:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -46,6 +47,11 @@ _EPILOGUE_PRODUCERS = {
     OpType.FUSED_CONV_BN, OpType.FUSED_CONV_RELU, OpType.FUSED_CONV_BN_RELU,
     OpType.ENLARGE_CONV,
 }
+
+#: Per-node (flops, bytes) memo table carried on graphs.  Device-independent
+#: — flop and byte counts only depend on the node's specs — so every
+#: simulator (and the whole process) shares one table per graph.
+_OPCOST_CACHE_KEY = "op-flops-bytes"
 
 
 @dataclass
@@ -85,6 +91,12 @@ class E2ESimulator:
         self.enable_constant_folding = bool(enable_constant_folding)
         self.enable_runtime_fusion = bool(enable_runtime_fusion)
         self._rng = np.random.default_rng(seed)
+        # Whole-graph latency memo key: two simulators with the same device
+        # and the same pipeline-effect switches produce the same latency.
+        self._latency_key = ("e2e-latency",
+                             dataclasses.astuple(self.device.config),
+                             self.enable_constant_folding,
+                             self.enable_runtime_fusion)
 
     # ------------------------------------------------------------------
     # Graph analysis
@@ -150,14 +162,22 @@ class E2ESimulator:
         total = 0.0
         kernels = 0
         per_node: Dict[NodeId, float] = {}
+        opcost_table = graph.node_cache(_OPCOST_CACHE_KEY)
         for nid in graph.topological_order():
             node = graph.nodes[nid]
             if is_zero_cost(node.op_type) or nid in folded:
                 per_node[nid] = 0.0
                 continue
-            inputs = graph.input_specs(nid)
-            flops = op_flops(node.op_type, inputs, node.outputs, node.attrs)
-            bytes_moved = op_memory_bytes(node.op_type, inputs, node.outputs, node.attrs)
+            cached = opcost_table.get(nid)
+            if cached is None:
+                inputs = graph.input_specs(nid)
+                cached = (
+                    op_flops(node.op_type, inputs, node.outputs, node.attrs),
+                    op_memory_bytes(node.op_type, inputs, node.outputs,
+                                    node.attrs),
+                )
+                opcost_table[nid] = cached
+            flops, bytes_moved = cached
             if nid in fused:
                 # Epilogue: arithmetic rides along with the producer kernel;
                 # the intermediate tensor never leaves registers/shared memory.
@@ -173,8 +193,14 @@ class E2ESimulator:
                               per_node_ms=per_node)
 
     def latency_ms(self, graph: Graph) -> float:
-        """Deterministic (noise-free) end-to-end latency in milliseconds."""
-        return self.profile(graph).total_ms
+        """Deterministic (noise-free) end-to-end latency in milliseconds.
+
+        Memoised on the graph until its next mutation — the RL environment
+        measures the same graph several times per step (reward, info dict,
+        best-graph tracking) and only the first call pays for the profile.
+        """
+        return graph.memo(self._latency_key,
+                          lambda: self.profile(graph).total_ms)
 
     def measure(self, graph: Graph, repeats: int = 5) -> E2EMeasurement:
         """Simulate ``repeats`` noisy measurements, like timing real runs."""

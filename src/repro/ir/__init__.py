@@ -10,14 +10,14 @@ Public surface:
 
 from .tensor import DataType, TensorShape, TensorSpec, make_spec
 from .ops import OpType, OP_REGISTRY, infer_output_spec, op_index, num_op_types
-from .graph import Edge, Graph, GraphValidationError, Node, NodeId
+from .graph import Edge, Graph, GraphDelta, GraphValidationError, Node, NodeId
 from .builder import GraphBuilder
 from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
 
 __all__ = [
     "DataType", "TensorShape", "TensorSpec", "make_spec",
     "OpType", "OP_REGISTRY", "infer_output_spec", "op_index", "num_op_types",
-    "Edge", "Graph", "GraphValidationError", "Node", "NodeId",
+    "Edge", "Graph", "GraphDelta", "GraphValidationError", "Node", "NodeId",
     "GraphBuilder",
     "graph_from_dict", "graph_to_dict", "load_graph", "save_graph",
 ]

@@ -13,21 +13,55 @@ node's output slot.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (Callable, Dict, Hashable, Iterable, Iterator, List,
+                    Mapping, Optional, Sequence, Set, Tuple)
 
 from .ops import OP_REGISTRY, OpType, infer_output_spec
 from .tensor import TensorSpec
 
-__all__ = ["NodeId", "Edge", "Node", "Graph", "GraphValidationError"]
+__all__ = ["NodeId", "Edge", "Node", "Graph", "GraphDelta",
+           "GraphValidationError"]
 
 NodeId = int
+
+_MISSING = object()
+
+
+def _edge_dst_slot(edge: "Edge") -> int:
+    return edge.dst_slot
 
 
 class GraphValidationError(ValueError):
     """Raised when a graph violates a structural invariant."""
+
+
+@dataclass
+class GraphDelta:
+    """Mutations recorded on a graph since a checkpoint.
+
+    ``added`` holds node ids created after the checkpoint that still exist;
+    ``removed`` holds ids that existed at the checkpoint and have since been
+    deleted; ``rewired`` holds ids that existed at the checkpoint, still
+    exist, and have had an input edge redirected (so their input specs — and
+    therefore their per-node cost — may have changed).  A node that was added
+    and later removed appears in neither set.
+    """
+
+    added: Set[NodeId] = field(default_factory=set)
+    removed: Set[NodeId] = field(default_factory=set)
+    rewired: Set[NodeId] = field(default_factory=set)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.rewired)
+
+    def changed_nodes(self) -> Set[NodeId]:
+        """All node ids whose presence or cost differs from the checkpoint."""
+        return self.added | self.removed | self.rewired
 
 
 @dataclass(frozen=True)
@@ -54,6 +88,11 @@ class Node:
     #: Output tensor specs (one per output slot), filled by shape inference.
     outputs: List[TensorSpec] = field(default_factory=list)
     name: str = ""
+    #: Memoised JSON fragment of the node's id-independent hash payload
+    #: (op type, attrs, output shapes).  Invalidated when ``outputs`` are
+    #: re-inferred; attrs are never mutated in place after construction.
+    _hash_fragment: Optional[str] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def is_source(self) -> bool:
@@ -70,13 +109,14 @@ class Node:
         return (self.op_type.value, attr_items)
 
     def copy(self) -> "Node":
-        return Node(
-            node_id=self.node_id,
-            op_type=self.op_type,
-            attrs=dict(self.attrs),
-            outputs=list(self.outputs),
-            name=self.name,
-        )
+        # Hot path (one call per node per rewrite): clone via __dict__ to
+        # skip dataclass __init__ overhead.
+        clone = Node.__new__(Node)
+        state = clone.__dict__
+        state.update(self.__dict__)
+        state["attrs"] = dict(self.attrs)
+        state["outputs"] = list(self.outputs)
+        return clone
 
 
 def _freeze(value):
@@ -103,6 +143,18 @@ class Graph:
     * every non-source node's inputs are fully connected, with consistent
       slot numbering and arity within the operator signature
     * every node's output specs agree with shape inference
+
+    Incremental-engine state (maintained across all mutations):
+
+    * ``_nodes_by_op``: op-type index used by anchor-based rule matching
+      (each bucket is an insertion-ordered dict, so iteration is in node-id
+      order because ids are handed out monotonically)
+    * ``_scalar_cache``: whole-graph memos (topological order, structural
+      hash, simulated latency), cleared on any mutation
+    * ``_node_caches``: per-node memo tables (per-node cost estimates,
+      per-node flop/byte counts), invalidated per affected node
+    * ``_delta``: mutation recording (see :class:`GraphDelta`), started by
+      :meth:`begin_delta` and automatically on every :meth:`copy`
     """
 
     def __init__(self, name: str = "graph"):
@@ -111,6 +163,10 @@ class Graph:
         self._in_edges: Dict[NodeId, List[Edge]] = {}
         self._out_edges: Dict[NodeId, List[Edge]] = {}
         self._next_id: NodeId = 0
+        self._nodes_by_op: Dict[OpType, Dict[NodeId, None]] = {}
+        self._scalar_cache: Dict[Hashable, object] = {}
+        self._node_caches: Dict[Hashable, Dict[NodeId, object]] = {}
+        self._delta: Optional[GraphDelta] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -168,19 +224,43 @@ class Graph:
             edge = Edge(src=src, dst=node_id, src_slot=src_slot, dst_slot=dst_slot)
             self._in_edges[node_id].append(edge)
             self._out_edges[src].append(edge)
+        self._nodes_by_op.setdefault(op_type, {})[node_id] = None
+        if self._scalar_cache:
+            self._scalar_cache.clear()
+        if self._delta is not None:
+            self._delta.added.add(node_id)
         return node_id
 
     def remove_node(self, node_id: NodeId) -> None:
         """Remove a node and all edges touching it."""
         if node_id not in self.nodes:
             raise GraphValidationError(f"node {node_id} does not exist")
+        consumers = {e.dst for e in self._out_edges[node_id]}
         for edge in list(self._in_edges[node_id]):
             self._out_edges[edge.src].remove(edge)
         for edge in list(self._out_edges[node_id]):
             self._in_edges[edge.dst].remove(edge)
+        op_type = self.nodes[node_id].op_type
         del self._in_edges[node_id]
         del self._out_edges[node_id]
         del self.nodes[node_id]
+        del self._nodes_by_op[op_type][node_id]
+        if self._scalar_cache:
+            self._scalar_cache.clear()
+        for table in self._node_caches.values():
+            table.pop(node_id, None)
+            for consumer in consumers:
+                table.pop(consumer, None)
+        if self._delta is not None:
+            delta = self._delta
+            if node_id in delta.added:
+                delta.added.discard(node_id)
+            else:
+                delta.removed.add(node_id)
+            delta.rewired.discard(node_id)
+            for consumer in consumers:
+                if consumer in self.nodes and consumer not in delta.added:
+                    delta.rewired.add(consumer)
 
     def rewire_input(self, dst: NodeId, dst_slot: int, new_src: NodeId,
                      new_src_slot: int = 0) -> None:
@@ -192,6 +272,12 @@ class Graph:
                 new_edge = Edge(new_src, dst, new_src_slot, dst_slot)
                 edges[i] = new_edge
                 self._out_edges[new_src].append(new_edge)
+                if self._scalar_cache:
+                    self._scalar_cache.clear()
+                for table in self._node_caches.values():
+                    table.pop(dst, None)
+                if self._delta is not None and dst not in self._delta.added:
+                    self._delta.rewired.add(dst)
                 return
         raise GraphValidationError(f"node {dst} has no input slot {dst_slot}")
 
@@ -199,7 +285,7 @@ class Graph:
     # Queries
     # ------------------------------------------------------------------
     def in_edges(self, node_id: NodeId) -> List[Edge]:
-        return sorted(self._in_edges[node_id], key=lambda e: e.dst_slot)
+        return sorted(self._in_edges[node_id], key=_edge_dst_slot)
 
     def out_edges(self, node_id: NodeId) -> List[Edge]:
         return list(self._out_edges[node_id])
@@ -244,26 +330,97 @@ class Graph:
         ]
 
     # ------------------------------------------------------------------
+    # Op-type index / caches / mutation delta
+    # ------------------------------------------------------------------
+    def nodes_by_op(self, *op_types: OpType) -> List[NodeId]:
+        """Ids of all nodes with one of the given op types, in creation order.
+
+        Backed by an index maintained across mutations, so rule matching can
+        seed from the handful of anchor operators instead of scanning every
+        node in the graph.
+        """
+        if len(op_types) == 1:
+            return list(self._nodes_by_op.get(op_types[0], ()))
+        ids = [nid for op in op_types for nid in self._nodes_by_op.get(op, ())]
+        ids.sort()
+        return ids
+
+    def node_cache(self, key: Hashable) -> Dict[NodeId, object]:
+        """A per-node memo table for ``key`` (e.g. one cost model's params).
+
+        Entries survive :meth:`copy` and are invalidated per node when the
+        node is removed or has an input rewired, so derived per-node values
+        (costs, flop counts) can be reused across rewrite steps.
+        """
+        table = self._node_caches.get(key)
+        if table is None:
+            table = self._node_caches[key] = {}
+        return table
+
+    def memo(self, key: Hashable, compute: Callable[[], object]):
+        """A whole-graph memo for ``key``, dropped on any mutation."""
+        value = self._scalar_cache.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self._scalar_cache[key] = value
+        return value
+
+    def begin_delta(self) -> GraphDelta:
+        """Start (or restart) mutation recording from the current state."""
+        self._delta = GraphDelta()
+        return self._delta
+
+    def mutation_delta(self) -> Optional[GraphDelta]:
+        """The mutations recorded since the last checkpoint (or ``None``).
+
+        :meth:`copy` checkpoints the copy automatically, so the graph a
+        rewrite rule returns always carries the delta of its surgery.
+        """
+        return self._delta
+
+    def _rebuild_indices(self) -> None:
+        """Recompute the op-type index and drop every cache.
+
+        Only needed after constructing graph internals directly (e.g. when
+        deserialising); the normal mutation API maintains them in place.
+        """
+        self._nodes_by_op = {}
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            self._nodes_by_op.setdefault(node.op_type, {})[nid] = None
+        self._scalar_cache.clear()
+        self._node_caches.clear()
+
+    # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
     def topological_order(self) -> List[NodeId]:
         """Node ids in a deterministic topological order.
 
         Raises :class:`GraphValidationError` if the graph contains a cycle.
+        The order is memoised until the next mutation.
         """
+        cached = self._scalar_cache.get("topo")
+        if cached is None:
+            cached = self._compute_topological_order()
+            self._scalar_cache["topo"] = cached
+        return list(cached)
+
+    def _compute_topological_order(self) -> List[NodeId]:
+        # Kahn's algorithm with a min-heap of ready nodes: pops the smallest
+        # ready id first, which is exactly the order the previous
+        # sort-the-ready-list implementation produced.
         in_degree = {nid: len(self._in_edges[nid]) for nid in self.nodes}
-        ready = sorted(nid for nid, deg in in_degree.items() if deg == 0)
+        ready = [nid for nid, deg in in_degree.items() if deg == 0]
+        heapq.heapify(ready)
         order: List[NodeId] = []
-        ready_set = list(ready)
-        while ready_set:
-            nid = ready_set.pop(0)
+        while ready:
+            nid = heapq.heappop(ready)
             order.append(nid)
-            for edge in sorted(self._out_edges[nid], key=lambda e: (e.dst, e.dst_slot)):
+            for edge in self._out_edges[nid]:
                 in_degree[edge.dst] -= 1
                 if in_degree[edge.dst] == 0:
-                    # keep deterministic order: insert sorted
-                    ready_set.append(edge.dst)
-            ready_set.sort()
+                    heapq.heappush(ready, edge.dst)
         if len(order) != len(self.nodes):
             raise GraphValidationError("graph contains a cycle")
         return order
@@ -305,35 +462,90 @@ class Graph:
                 continue
             input_specs = self.input_specs(nid)
             sig = OP_REGISTRY[node.op_type]
+            # Nodes may be shared with copies of this graph (see
+            # :meth:`copy`), so replace the node instead of mutating it.
+            node = node.copy()
             node.outputs = [
                 infer_output_spec(node.op_type, input_specs, node.attrs, s)
                 for s in range(sig.num_outputs)
             ]
+            node._hash_fragment = None
+            self.nodes[nid] = node
+        # Output specs feed every derived per-node value, so a full refresh
+        # invalidates everything.
+        self._scalar_cache.clear()
+        self._node_caches.clear()
 
     def structural_hash(self) -> str:
-        """A hash that identifies the graph up to node-id relabelling."""
+        """A hash that identifies the graph up to node-id relabelling.
+
+        Memoised until the next mutation.  The id-independent part of each
+        node's payload (op type, attrs, output shapes) is cached on the node
+        and spliced together with the relabelled edge list, producing the
+        exact byte stream ``json.dumps`` emitted in the original one-shot
+        implementation — hash values are stable across versions (the service
+        layer persists fingerprints keyed on them).
+        """
+        cached = self._scalar_cache.get("hash")
+        if cached is not None:
+            return cached
         order = self.topological_order()
         relabel = {nid: i for i, nid in enumerate(order)}
-        payload = []
+        nodes = self.nodes
+        in_edges = self._in_edges
+        parts: List[str] = []
         for nid in order:
-            node = self.nodes[nid]
-            edges = [
-                (relabel[e.src], e.src_slot, e.dst_slot) for e in self.in_edges(nid)
-            ]
-            payload.append((node.op_type.value,
-                            sorted((k, str(v)) for k, v in node.attrs.items()),
-                            [o.shape.as_list() for o in node.outputs],
-                            edges))
-        blob = json.dumps(payload, sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()
+            node = nodes[nid]
+            fragment = node._hash_fragment
+            if fragment is None:
+                fragment = json.dumps(
+                    [node.op_type.value,
+                     sorted((k, str(v)) for k, v in node.attrs.items()),
+                     [o.shape.as_list() for o in node.outputs]])
+                node._hash_fragment = fragment
+            edges = in_edges[nid]
+            if len(edges) > 1:
+                edges = sorted(edges, key=_edge_dst_slot)
+            if edges:
+                # Hand-rolled int-list rendering; byte-identical to
+                # ``json.dumps([[src, src_slot, dst_slot], ...])``.
+                edge_blob = "[[" + "], [".join(
+                    f"{relabel[e.src]}, {e.src_slot}, {e.dst_slot}"
+                    for e in edges) + "]]"
+            else:
+                edge_blob = "[]"
+            parts.append(f"{fragment[:-1]}, {edge_blob}]")
+        blob = ("[" + ", ".join(parts) + "]").encode()
+        digest = hashlib.sha256(blob).hexdigest()
+        self._scalar_cache["hash"] = digest
+        return digest
 
     def copy(self) -> "Graph":
-        """Deep copy preserving node ids."""
+        """Deep copy preserving node ids.
+
+        The copy carries the op-type index, all per-node and whole-graph
+        caches (valid because the copy is structurally identical), and starts
+        recording a fresh mutation delta — so a candidate graph produced by
+        ``parent.copy()`` plus surgery knows exactly what changed relative to
+        its parent and only re-derives costs for those nodes.
+
+        :class:`Node` objects are shared with the copy (copy-on-write):
+        nothing in the mutation API writes to an existing node — rewrites
+        add/remove nodes and rewire edges, and :meth:`refresh_shapes`
+        replaces nodes rather than mutating them — so sharing is safe and
+        saves a per-node allocation on every rewrite.
+        """
         g = Graph(self.name)
         g._next_id = self._next_id
-        g.nodes = {nid: node.copy() for nid, node in self.nodes.items()}
+        g.nodes = dict(self.nodes)
         g._in_edges = {nid: list(edges) for nid, edges in self._in_edges.items()}
         g._out_edges = {nid: list(edges) for nid, edges in self._out_edges.items()}
+        g._nodes_by_op = {op: dict(bucket)
+                          for op, bucket in self._nodes_by_op.items()}
+        g._scalar_cache = dict(self._scalar_cache)
+        g._node_caches = {key: dict(table)
+                          for key, table in self._node_caches.items()}
+        g.begin_delta()
         return g
 
     # ------------------------------------------------------------------

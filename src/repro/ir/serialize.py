@@ -49,8 +49,11 @@ def graph_from_dict(data: Dict) -> Graph:
         raise ValueError(f"unsupported graph format version {data.get('format_version')}")
     graph = Graph(data.get("name", "graph"))
     # Recreate nodes preserving the original ids so edge references resolve.
+    # Install them in ascending-id order: the engine's invariant is that
+    # ``graph.nodes`` iterates in id order (= creation order), which keeps
+    # indexed anchor matching and full-scan matching enumeration-identical.
     max_id = -1
-    for entry in data["nodes"]:
+    for entry in sorted(data["nodes"], key=lambda e: int(e["id"])):
         nid = int(entry["id"])
         node = Node(
             node_id=nid,
@@ -71,6 +74,7 @@ def graph_from_dict(data: Dict) -> Graph:
             graph._in_edges[nid].append(e)
             graph._out_edges[e.src].append(e)
     graph._next_id = max_id + 1
+    graph._rebuild_indices()  # nodes were installed without the mutation API
     graph.validate()
     return graph
 

@@ -105,8 +105,22 @@ class GraphRewriteEnv:
 
     def set_graph(self, graph: Graph) -> None:
         """Point the environment at a different target graph (e.g. for
-        shape-generalisation evaluation) without rebuilding it."""
+        shape-generalisation evaluation) without rebuilding it.
+
+        All episode state is cleared — in particular ``best_graph`` /
+        ``best_latency_ms``, which would otherwise survive from the previous
+        target and could report a "best graph" belonging to a different
+        model.
+        """
         self.initial_graph = graph
+        self.current_graph = graph
+        self.step_count = 0
+        self.applied_rules = []
+        self.initial_latency_ms = 0.0
+        self.last_measured_ms = 0.0
+        self.best_graph = graph
+        self.best_latency_ms = float("inf")
+        self._last_observation = None
 
     # ------------------------------------------------------------------
     def reset(self) -> Observation:
@@ -178,11 +192,7 @@ class GraphRewriteEnv:
         return reward
 
     def _observe(self) -> Observation:
-        candidates = self.ruleset.all_candidates(self.current_graph)
-        if len(candidates) > self.max_candidates:
-            # Keep a deterministic, diverse subset: preserve rule ordering but
-            # cap the total, mirroring the paper's fixed action-space padding.
-            candidates = candidates[: self.max_candidates]
+        candidates = self._select_candidates()
         mask = np.zeros(self.action_space_size, dtype=bool)
         mask[: len(candidates)] = True
         mask[-1] = True  # No-Op is always available
@@ -190,5 +200,44 @@ class GraphRewriteEnv:
         obs = Observation(meta_graph=meta, action_mask=mask, candidates=candidates)
         self._last_observation = obs
         return obs
+
+    def _select_candidates(self) -> List[Candidate]:
+        """The ≤ ``max_candidates`` candidates shown to the agent.
+
+        Candidates are generated lazily; only the ones selected here are
+        ever materialised (i.e. have their rule applied to a graph copy).
+        When the graph offers more rewrites than the action space holds, the
+        quota is filled round-robin across rules — every rule family stays
+        represented, instead of the first rules in declaration order
+        monopolising the action space — and the selection is re-sorted into
+        enumeration order so action indices remain stable with the uncapped
+        case.  Matches that fail to apply are dropped and their slot is
+        backfilled from the same rule.
+        """
+        lazy = self.ruleset.lazy_candidates(self.current_graph)
+        if len(lazy) <= self.max_candidates:
+            return [c for c in lazy if c.materialise() is not None]
+
+        queues: Dict[str, List[Tuple[int, Candidate]]] = {}
+        for index, candidate in enumerate(lazy):
+            queues.setdefault(candidate.rule_name, []).append((index, candidate))
+        rotation = list(queues)
+        picked: List[Tuple[int, Candidate]] = []
+        while rotation and len(picked) < self.max_candidates:
+            next_rotation = []
+            for rule_name in rotation:
+                if len(picked) >= self.max_candidates:
+                    break
+                queue = queues[rule_name]
+                while queue:
+                    index, candidate = queue.pop(0)
+                    if candidate.materialise() is not None:
+                        picked.append((index, candidate))
+                        break
+                if queue:
+                    next_rotation.append(rule_name)
+            rotation = next_rotation
+        picked.sort(key=lambda pair: pair[0])
+        return [candidate for _, candidate in picked]
 
     _last_observation: Optional[Observation] = None

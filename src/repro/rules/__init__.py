@@ -7,13 +7,13 @@
 """
 
 from .base import (Candidate, Match, RewriteRule, RuleSet,
-                   eliminate_dead_nodes, replace_all_uses)
+                   eliminate_dead_nodes, full_scan_matching, replace_all_uses)
 from .interpreter import GraphInterpreter, execute_graph, graphs_equivalent
 from .rulesets import DEFAULT_RULE_CLASSES, default_ruleset
 
 __all__ = [
     "Candidate", "Match", "RewriteRule", "RuleSet",
-    "eliminate_dead_nodes", "replace_all_uses",
+    "eliminate_dead_nodes", "full_scan_matching", "replace_all_uses",
     "GraphInterpreter", "execute_graph", "graphs_equivalent",
     "DEFAULT_RULE_CLASSES", "default_ruleset",
 ]

@@ -50,13 +50,12 @@ class FuseConvBatchNorm(RewriteRule):
 
     name = "fuse-conv-bn"
     category = "fusion"
+    anchor_ops = (OpType.CONV2D,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.CONV2D:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             consumer = _single_consumer(graph, nid)
             if consumer is None:
                 continue
@@ -82,13 +81,12 @@ class FuseConvRelu(RewriteRule):
 
     name = "fuse-conv-relu"
     category = "fusion"
+    anchor_ops = (OpType.CONV2D,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.CONV2D:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             consumer = _single_consumer(graph, nid)
             if consumer is None:
                 continue
@@ -111,13 +109,12 @@ class FuseConvBNRelu(RewriteRule):
 
     name = "fuse-conv-bn-relu"
     category = "fusion"
+    anchor_ops = (OpType.FUSED_CONV_BN,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.FUSED_CONV_BN:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             consumer = _single_consumer(graph, nid)
             if consumer is None:
                 continue
@@ -140,13 +137,12 @@ class FuseMatMulBias(RewriteRule):
 
     name = "fuse-matmul-bias"
     category = "fusion"
+    anchor_ops = (OpType.MATMUL,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MATMUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             consumer = _single_consumer(graph, nid)
             if consumer is None:
                 continue
@@ -183,14 +179,13 @@ class MergeParallelMatMuls(RewriteRule):
 
     name = "merge-matmuls"
     category = "merge"
+    anchor_ops = (OpType.MATMUL,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
         by_input: Dict[NodeId, List[NodeId]] = {}
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MATMUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             if len(edges) != 2 or not _is_param(graph, edges[1].src):
                 continue
@@ -239,14 +234,13 @@ class MergeParallelConvs(RewriteRule):
 
     name = "merge-convs"
     category = "merge"
+    anchor_ops = (OpType.CONV2D,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
         by_input: Dict[Tuple, List[NodeId]] = {}
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.CONV2D:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             if len(edges) < 2 or not _is_param(graph, edges[1].src):
                 continue
@@ -296,15 +290,14 @@ class EnlargeConvKernel(RewriteRule):
 
     name = "enlarge-conv"
     category = "layout"
+    anchor_ops = (OpType.CONV2D,)
     # The interpreter cannot reproduce the zero-padded weight tensor, so the
     # rule is not replayable exactly (it fabricates a new weight node).
     exactly_equivalent = False
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.CONV2D:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             if len(edges) < 2 or not _is_param(graph, edges[1].src):
                 continue
@@ -363,13 +356,12 @@ class PushMulThroughBatchMatMul(RewriteRule):
 
     name = "push-mul-bmm"
     category = "algebraic"
+    anchor_ops = (OpType.MUL,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             a, b = edges[0].src, edges[1].src
             for bmm, scalar in ((a, b), (b, a)):
@@ -400,15 +392,14 @@ class PushMulThroughReshape(RewriteRule):
 
     name = "push-mul-reshape"
     category = "algebraic"
+    anchor_ops = (OpType.MUL,)
     exactly_equivalent = True
 
     _MOVABLE = (OpType.RESHAPE, OpType.TRANSPOSE)
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             a, b = edges[0].src, edges[1].src
             for reshaped, scalar in ((a, b), (b, a)):
@@ -437,13 +428,12 @@ class DistributeMulOverAdd(RewriteRule):
 
     name = "distribute-mul-add"
     category = "algebraic"
+    anchor_ops = (OpType.MUL,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             a, b = edges[0].src, edges[1].src
             for added, scalar in ((a, b), (b, a)):
@@ -478,15 +468,14 @@ class FoldMulIntoMatMul(RewriteRule):
 
     name = "fold-mul-matmul"
     category = "algebraic"
+    anchor_ops = (OpType.MUL,)
     exactly_equivalent = True
 
     _MM_OPS = (OpType.MATMUL, OpType.FUSED_MATMUL_ADD)
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             a, b = edges[0].src, edges[1].src
             for mm, scalar in ((a, b), (b, a)):
@@ -524,13 +513,12 @@ class ReassociateMatMul(RewriteRule):
 
     name = "reassoc-matmul"
     category = "algebraic"
+    anchor_ops = (OpType.MATMUL,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.MATMUL:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             edges = graph.in_edges(nid)
             inner = edges[0].src
             outer_w = edges[1].src
@@ -570,13 +558,12 @@ class EliminateDoubleTranspose(RewriteRule):
 
     name = "eliminate-double-transpose"
     category = "cleanup"
+    anchor_ops = (OpType.TRANSPOSE,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.TRANSPOSE:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             inner = graph.in_edges(nid)[0].src
             if graph.nodes[inner].op_type is not OpType.TRANSPOSE:
                 continue
@@ -603,13 +590,12 @@ class EliminateSliceOfConcat(RewriteRule):
 
     name = "eliminate-slice-concat"
     category = "cleanup"
+    anchor_ops = (OpType.SLICE,)
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type is not OpType.SLICE:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             concat = graph.in_edges(nid)[0].src
             concat_node = graph.nodes[concat]
             if concat_node.op_type is not OpType.CONCAT:

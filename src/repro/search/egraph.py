@@ -83,19 +83,22 @@ class GraphSpace:
                 for rule in self.ruleset:
                     if (rule.category in MULTI_PATTERN_CATEGORIES and not allow_multi):
                         continue
-                    for candidate in rule.candidates(current):
-                        h = candidate.graph.structural_hash()
+                    for candidate in rule.lazy_candidates(current):
+                        cand_graph = candidate.materialise()
+                        if cand_graph is None:
+                            continue
+                        h = cand_graph.structural_hash()
                         if h in hashes:
                             continue
-                        if total_nodes + candidate.graph.num_nodes > self.node_limit:
+                        if total_nodes + cand_graph.num_nodes > self.node_limit:
                             stats.node_budget_hit = True
                             break
                         if additions >= self.per_round_cap:
                             break
                         hashes.add(h)
-                        population.append((candidate.graph, applied + [rule.name]))
+                        population.append((cand_graph, applied + [rule.name]))
                         new_frontier.append(len(population) - 1)
-                        total_nodes += candidate.graph.num_nodes
+                        total_nodes += cand_graph.num_nodes
                         additions += 1
                         stats.applied_rules[rule.name] = (
                             stats.applied_rules.get(rule.name, 0) + 1)
@@ -117,11 +120,16 @@ class GraphSpace:
     # ------------------------------------------------------------------
     def extract(self, population: List[Tuple[Graph, List[str]]],
                 cost_model: CostModel) -> Tuple[Graph, List[str], float]:
-        """Pick the representative with the lowest cost-model estimate."""
+        """Pick the representative with the lowest cost-model estimate.
+
+        Every population member descends from the root by graph copies, so
+        the cached estimate only re-derives the nodes its rewrites touched
+        (bit-for-bit equal to a full estimate).
+        """
         best_graph, best_rules = population[0]
-        best_cost = cost_model.estimate(best_graph)
+        best_cost = cost_model.estimate_cached(best_graph)
         for candidate, rules in population[1:]:
-            cost = cost_model.estimate(candidate)
+            cost = cost_model.estimate_cached(candidate)
             if cost < best_cost:
                 best_graph, best_rules, best_cost = candidate, rules, cost
         return best_graph, best_rules, best_cost

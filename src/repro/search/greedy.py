@@ -49,6 +49,13 @@ class TASOOptimizer:
         mentions — increasing it rarely helps but costs time).
     queue_capacity:
         Maximum number of graphs kept in the queue at any time.
+    incremental:
+        When True (the default), candidates are generated lazily and costed
+        through :meth:`CostModel.estimate_delta`, which only re-derives the
+        nodes each rewrite touched.  The eager path (False) regenerates and
+        re-costs every node from scratch; both paths visit the same
+        candidates in the same order and produce bit-identical results — the
+        flag exists as the equivalence/benchmark baseline.
     """
 
     name = "taso"
@@ -58,19 +65,24 @@ class TASOOptimizer:
                  e2e: Optional[E2ESimulator] = None,
                  alpha: float = 1.05,
                  max_iterations: int = 100,
-                 queue_capacity: int = 200):
+                 queue_capacity: int = 200,
+                 incremental: bool = True):
         self.ruleset = ruleset or default_ruleset()
         self.cost_model = cost_model or CostModel()
         self.e2e = e2e or E2ESimulator()
         self.alpha = float(alpha)
         self.max_iterations = int(max_iterations)
         self.queue_capacity = int(queue_capacity)
+        self.incremental = bool(incremental)
 
     # ------------------------------------------------------------------
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
         """Run the backtracking search and return the best graph found."""
         with timed() as elapsed:
-            initial_cost = self.cost_model.estimate(graph)
+            if self.incremental:
+                initial_cost = self.cost_model.estimate_cached(graph)
+            else:
+                initial_cost = self.cost_model.estimate(graph)
             best_graph, best_cost = graph, initial_cost
             best_rules: List[str] = []
 
@@ -87,20 +99,31 @@ class TASOOptimizer:
                 cost, _, current, applied = heapq.heappop(heap)
                 if cost > self.alpha * best_cost:
                     continue
-                for candidate in self.ruleset.all_candidates(current):
+                if self.incremental:
+                    candidates = self.ruleset.lazy_candidates(current)
+                else:
+                    candidates = self.ruleset.all_candidates(current)
+                for candidate in candidates:
+                    cand_graph = candidate.materialise()
+                    if cand_graph is None:
+                        continue
                     candidates_evaluated += 1
-                    cand_hash = candidate.graph.structural_hash()
+                    cand_hash = cand_graph.structural_hash()
                     if cand_hash in seen:
                         continue
                     seen.add(cand_hash)
-                    cand_cost = self.cost_model.estimate(candidate.graph)
+                    if self.incremental:
+                        cand_cost = self.cost_model.estimate_delta(
+                            current, cand_graph, parent_cost=cost)
+                    else:
+                        cand_cost = self.cost_model.estimate(cand_graph)
                     cand_rules = applied + [candidate.rule_name]
                     if cand_cost < best_cost:
-                        best_graph, best_cost = candidate.graph, cand_cost
+                        best_graph, best_cost = cand_graph, cand_cost
                         best_rules = cand_rules
                     if cand_cost <= self.alpha * best_cost:
                         entry = (cand_cost, next(counter),
-                                 candidate.graph, cand_rules)
+                                 cand_graph, cand_rules)
                         if len(heap) < self.queue_capacity:
                             heapq.heappush(heap, entry)
                         else:

@@ -51,12 +51,11 @@ class ConvToWinogradGemm(RewriteRule):
     #: (grouped/depthwise convolutions are not).
     _CONV_OPS = (OpType.CONV2D, OpType.FUSED_CONV_BN, OpType.FUSED_CONV_RELU,
                  OpType.FUSED_CONV_BN_RELU)
+    anchor_ops = _CONV_OPS
 
     def find_matches(self, graph: Graph) -> List[Match]:
         matches = []
-        for nid, node in graph.nodes.items():
-            if node.op_type not in self._CONV_OPS:
-                continue
+        for nid, node in self.anchor_nodes(graph):
             if node.attrs.get("algorithm") == "winograd":
                 continue
             if int(node.attrs.get("stride", 1)) != 1:

@@ -48,11 +48,22 @@ class RandomSearchOptimizer:
             for _ in range(self.num_walks):
                 current, applied = graph, []
                 for _ in range(self.horizon):
-                    candidates = self.ruleset.all_candidates(current)
-                    if not candidates:
+                    # Lazy candidates: only the randomly chosen one is ever
+                    # materialised; the rest never copy the graph.
+                    candidates = self.ruleset.lazy_candidates(current)
+                    chosen = None
+                    while candidates:
+                        index = int(self._rng.integers(len(candidates)))
+                        chosen = candidates[index]
+                        if chosen.materialise() is not None:
+                            break
+                        # Match failed to apply (shape corner case): discard
+                        # it and redraw among the remaining candidates.
+                        candidates.pop(index)
+                        chosen = None
+                    if chosen is None:
                         break
-                    choice = candidates[int(self._rng.integers(len(candidates)))]
-                    current, applied = choice.graph, applied + [choice.rule_name]
+                    current, applied = chosen.graph, applied + [chosen.rule_name]
                     steps_total += 1
                 latency = self.e2e.latency_ms(current)
                 if latency < best_latency:

@@ -116,6 +116,82 @@ class TestEnvironment:
         assert calls
 
 
+class TestSetGraph:
+    def test_set_graph_clears_stale_episode_state(self, conv_graph, mlp_graph):
+        env = GraphRewriteEnv(conv_graph, feedback_interval=2,
+                              max_candidates=8, max_steps=4, seed=0)
+        env.reset()
+        env.step(0)
+        assert env.applied_rules
+        old_best = env.best_latency_ms
+
+        env.set_graph(mlp_graph)
+        # No state from the previous target may survive: in particular the
+        # best graph must not belong to the old model.
+        assert env.initial_graph is mlp_graph
+        assert env.best_graph is mlp_graph
+        assert env.best_latency_ms == float("inf")
+        assert env.applied_rules == []
+        assert env.step_count == 0
+
+        env.reset()
+        assert env.best_graph.structural_hash() == mlp_graph.structural_hash()
+        assert env.best_latency_ms == env.initial_latency_ms
+        assert env.best_latency_ms != old_best
+
+    def test_step_before_reset_after_set_graph_raises(self, conv_graph,
+                                                      mlp_graph):
+        env = GraphRewriteEnv(conv_graph, max_candidates=8, max_steps=4)
+        env.reset()
+        env.set_graph(mlp_graph)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+
+class TestCandidateSelection:
+    @pytest.fixture
+    def parallel_conv_graph(self):
+        """Three parallel conv+relu branches: two rule families, many matches."""
+        b = GraphBuilder("parallel")
+        x = b.input((1, 4, 8, 8), name="image")
+        outs = [b.relu(b.conv2d(x, 4, kernel=3)) for _ in range(3)]
+        return b.build([b.concat(outs, axis=1)])
+
+    def test_round_robin_when_over_capacity(self, parallel_conv_graph):
+        from repro.rules import default_ruleset
+        all_cands = default_ruleset().all_candidates(parallel_conv_graph)
+        by_rule = {}
+        for c in all_cands:
+            by_rule[c.rule_name] = by_rule.get(c.rule_name, 0) + 1
+        assert by_rule == {"fuse-conv-relu": 3, "merge-convs": 3}
+
+        env = GraphRewriteEnv(parallel_conv_graph, max_candidates=4,
+                              max_steps=4)
+        obs = env.reset()
+        assert len(obs.candidates) == 4
+        shown = {}
+        for c in obs.candidates:
+            shown[c.rule_name] = shown.get(c.rule_name, 0) + 1
+        # The quota is split across rules instead of the first rule's
+        # matches monopolising the prefix.
+        assert shown == {"fuse-conv-relu": 2, "merge-convs": 2}
+
+    def test_no_truncation_preserves_full_enumeration(self, parallel_conv_graph):
+        from repro.rules import default_ruleset
+        env = GraphRewriteEnv(parallel_conv_graph, max_candidates=16,
+                              max_steps=4)
+        obs = env.reset()
+        eager = default_ruleset().all_candidates(parallel_conv_graph)
+        assert [c.match for c in obs.candidates] == [c.match for c in eager]
+
+    def test_only_selected_candidates_are_materialised(self, parallel_conv_graph):
+        env = GraphRewriteEnv(parallel_conv_graph, max_candidates=4,
+                              max_steps=4)
+        obs = env.reset()
+        assert all(c.is_materialised for c in obs.candidates)
+        assert len(obs.candidates) == 4
+
+
 class TestGAE:
     def test_single_step_episode(self):
         adv, ret = compute_gae(np.array([1.0]), np.array([0.5]), np.array([True]),

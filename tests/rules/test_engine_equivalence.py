@@ -1,0 +1,338 @@
+"""Equivalence gate for the incremental rewrite engine.
+
+The engine refactor (op-type-indexed matching, lazy candidates, delta cost
+evaluation, memoised hashing) must be behaviour-preserving: every assertion
+here compares the incremental path against the original eager/full-scan
+semantics and requires *exact* equality — costs bit-for-bit, hashes
+byte-for-byte, search trajectories step-for-step.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cost import CostModel, E2ESimulator
+from repro.experiments import build_small_model
+from repro.ir import Graph, OpType
+from repro.rules import default_ruleset, eliminate_dead_nodes, full_scan_matching
+from repro.rules.base import Candidate, RewriteRule
+from repro.search import GreedyOptimizer, PETOptimizer, TASOOptimizer
+
+MODELS = ["squeezenet", "resnext50", "bert", "vit"]
+
+
+@pytest.fixture(scope="module", params=MODELS)
+def model_graph(request):
+    return build_small_model(request.param)
+
+
+def reference_structural_hash(graph: Graph) -> str:
+    """The seed repo's one-shot structural hash (no memoisation, no caches)."""
+    order = graph.topological_order()
+    relabel = {nid: i for i, nid in enumerate(order)}
+    payload = []
+    for nid in order:
+        node = graph.nodes[nid]
+        edges = [(relabel[e.src], e.src_slot, e.dst_slot)
+                 for e in graph.in_edges(nid)]
+        payload.append((node.op_type.value,
+                        sorted((k, str(v)) for k, v in node.attrs.items()),
+                        [o.shape.as_list() for o in node.outputs],
+                        edges))
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def rewrite_chain(graph, depth=3):
+    """The graph plus a few of its rewrite descendants (mutated copies)."""
+    ruleset = default_ruleset()
+    graphs = [graph]
+    current = graph
+    for _ in range(depth):
+        candidates = ruleset.all_candidates(current)
+        if not candidates:
+            break
+        current = candidates[0].graph
+        graphs.append(current)
+    return graphs
+
+
+# ---------------------------------------------------------------------------
+# (a) Indexed matching == full-scan matching
+# ---------------------------------------------------------------------------
+
+class TestIndexedMatching:
+    def test_all_rules_declare_anchors(self):
+        for rule in default_ruleset():
+            assert rule.anchor_ops, f"{rule.name} has no anchor_ops"
+
+    def test_matches_equal_full_scan(self, model_graph):
+        for graph in rewrite_chain(model_graph):
+            for rule in default_ruleset():
+                indexed = rule.find_matches(graph)
+                with full_scan_matching():
+                    scanned = rule.find_matches(graph)
+                assert indexed == scanned, rule.name
+
+    def test_op_index_consistent_after_rewrites(self, model_graph):
+        for graph in rewrite_chain(model_graph):
+            expected = {}
+            for nid in sorted(graph.nodes):
+                expected.setdefault(graph.nodes[nid].op_type, []).append(nid)
+            for op in set(expected) | set(graph._nodes_by_op):
+                assert graph.nodes_by_op(op) == expected.get(op, [])
+
+    def test_index_survives_serialisation(self, model_graph):
+        from repro.ir import graph_from_dict, graph_to_dict
+        # Round-trip a *rewritten* graph: after surgery the topological order
+        # written to the file is no longer ascending in node id, which is
+        # exactly the case where deserialisation must restore id order.
+        rewritten = rewrite_chain(model_graph, depth=2)[-1]
+        restored = graph_from_dict(graph_to_dict(rewritten))
+        assert list(restored.nodes) == sorted(restored.nodes)
+        for op in {n.op_type for n in restored.nodes.values()}:
+            assert restored.nodes_by_op(op) == sorted(
+                nid for nid, n in restored.nodes.items() if n.op_type is op)
+        # Indexed and full-scan matching must enumerate identically on the
+        # reloaded graph, like on any other graph.
+        for rule in default_ruleset():
+            indexed = rule.find_matches(restored)
+            with full_scan_matching():
+                assert rule.find_matches(restored) == indexed, rule.name
+
+
+# ---------------------------------------------------------------------------
+# Structural hash: memoised splice == original one-shot json.dumps
+# ---------------------------------------------------------------------------
+
+class TestStructuralHash:
+    def test_hash_matches_reference(self, model_graph):
+        for graph in rewrite_chain(model_graph):
+            assert graph.structural_hash() == reference_structural_hash(graph)
+
+    def test_hash_memo_invalidated_by_mutation(self, model_graph):
+        graph = model_graph.copy()
+        before = graph.structural_hash()
+        assert graph.structural_hash() == before  # memo hit
+        sink = graph.sink_nodes()[0]
+        graph.add_node(OpType.RELU, [sink])
+        after = graph.structural_hash()
+        assert after != before
+        assert after == reference_structural_hash(graph)
+
+
+# ---------------------------------------------------------------------------
+# (b) Delta cost == full re-estimation, bit for bit
+# ---------------------------------------------------------------------------
+
+class TestDeltaCost:
+    def test_estimate_delta_equals_full_estimate(self, model_graph):
+        cm = CostModel()
+        pure = CostModel()  # fresh model whose estimate() never sees caches
+        parent = model_graph
+        parent_cost = cm.estimate_cached(parent)
+        assert parent_cost == pure.estimate(parent)
+        for candidate in default_ruleset().all_candidates(parent):
+            child = candidate.graph
+            delta_cost = cm.estimate_delta(parent, child,
+                                           parent_cost=parent_cost)
+            assert delta_cost == pure.estimate(child), candidate.rule_name
+
+    def test_estimate_delta_after_every_step_of_a_walk(self, model_graph):
+        cm = CostModel()
+        pure = CostModel()
+        chain = rewrite_chain(model_graph, depth=4)
+        for parent, child in zip(chain, chain[1:]):
+            parent_cost = cm.estimate_cached(parent)
+            assert cm.estimate_delta(parent, child, parent_cost=parent_cost) \
+                == pure.estimate(child)
+
+    def test_estimate_delta_without_carried_cache(self, model_graph):
+        # A child built outside Graph.copy carries no table; the delta path
+        # must seed unchanged nodes from the parent and still agree exactly.
+        cm = CostModel()
+        parent = model_graph
+        cm.estimate_cached(parent)
+        candidate = default_ruleset().all_candidates(parent)[0]
+        child = candidate.graph
+        child._node_caches.clear()
+        assert cm.estimate_delta(parent, child) == CostModel().estimate(child)
+
+    def test_pet_cost_model_not_shared_with_taso(self, model_graph):
+        taso_cm = CostModel()
+        pet_cm = CostModel(ignore_elementwise=True)
+        graph = model_graph.copy()
+        taso = taso_cm.estimate_cached(graph)
+        pet = pet_cm.estimate_cached(graph)
+        assert taso == CostModel().estimate(graph)
+        assert pet == CostModel(ignore_elementwise=True).estimate(graph)
+        assert taso != pet  # distinct cache keys, distinct values
+
+    def test_e2e_latency_memo_matches_fresh_simulator(self, model_graph):
+        sim = E2ESimulator()
+        for graph in rewrite_chain(model_graph):
+            assert sim.latency_ms(graph) == E2ESimulator().latency_ms(graph)
+            # memo hit returns the identical value
+            assert sim.latency_ms(graph) == sim.latency_ms(graph)
+
+
+# ---------------------------------------------------------------------------
+# Mutation delta recording
+# ---------------------------------------------------------------------------
+
+class TestMutationDelta:
+    def test_copy_records_surgery(self, model_graph):
+        candidate = default_ruleset().all_candidates(model_graph)[0]
+        delta = candidate.graph.mutation_delta()
+        assert delta is not None and not delta.is_empty
+        for nid in delta.added:
+            assert nid in candidate.graph.nodes
+            assert nid not in model_graph.nodes or nid >= model_graph._next_id
+        for nid in delta.removed:
+            assert nid not in candidate.graph.nodes
+            assert nid in model_graph.nodes
+        for nid in delta.rewired:
+            assert nid in candidate.graph.nodes
+            assert nid in model_graph.nodes
+
+    def test_add_then_remove_cancels(self):
+        graph = Graph("t")
+        graph.begin_delta()
+        nid = graph.add_node(OpType.INPUT, (), {"shape": (1, 4)})
+        dead = graph.add_node(OpType.RELU, [nid])
+        graph.remove_node(dead)
+        delta = graph.mutation_delta()
+        assert delta.added == {nid}
+        assert delta.removed == set()
+
+
+# ---------------------------------------------------------------------------
+# Lazy candidates
+# ---------------------------------------------------------------------------
+
+class _ExplodingRule(RewriteRule):
+    name = "exploding"
+    anchor_ops = (OpType.RELU, OpType.MATMUL, OpType.ADD)
+
+    def find_matches(self, graph):
+        from repro.rules.base import Match
+        return [Match.create(self.name, {"anchor": nid})
+                for nid, _ in self.anchor_nodes(graph)]
+
+    def apply(self, graph, match):
+        raise RuntimeError("always fails")
+
+
+class TestLazyCandidates:
+    def test_materialise_is_deferred_and_cached(self, model_graph):
+        rule = default_ruleset().rules[0]
+        lazy = rule.lazy_candidates(model_graph)
+        if not lazy:
+            pytest.skip("rule has no matches on this model")
+        candidate = lazy[0]
+        assert not candidate.is_materialised
+        first = candidate.graph
+        assert candidate.is_materialised
+        assert candidate.graph is first  # apply ran exactly once
+
+    def test_failed_apply_yields_none_and_is_skipped(self, model_graph):
+        rule = _ExplodingRule()
+        lazy = rule.lazy_candidates(model_graph)
+        assert lazy, "model has no anchor nodes for the exploding rule"
+        assert all(c.materialise() is None for c in lazy)
+        assert rule.candidates(model_graph) == []
+        with pytest.raises(RuntimeError):
+            _ = lazy[0].graph
+
+    def test_lazy_and_eager_enumerate_identically(self, model_graph):
+        ruleset = default_ruleset()
+        lazy = ruleset.lazy_candidates(model_graph)
+        eager = ruleset.all_candidates(model_graph)
+        assert [(c.rule_name, c.match) for c in lazy] \
+            == [(c.rule_name, c.match) for c in eager]
+        assert [c.materialise().structural_hash() for c in lazy] \
+            == [c.graph.structural_hash() for c in eager]
+
+
+# ---------------------------------------------------------------------------
+# (c) Optimisers: incremental == eager on the model zoo
+# ---------------------------------------------------------------------------
+
+class TestOptimiserEquivalence:
+    @pytest.mark.parametrize("optimiser_cls,kwargs", [
+        (TASOOptimizer, {"max_iterations": 12}),
+        (GreedyOptimizer, {"max_iterations": 12}),
+        (PETOptimizer, {"max_iterations": 12}),
+    ])
+    def test_incremental_matches_eager(self, model_graph, optimiser_cls, kwargs):
+        eager = optimiser_cls(incremental=False, **kwargs).optimise(
+            model_graph, "m")
+        incremental = optimiser_cls(incremental=True, **kwargs).optimise(
+            model_graph, "m")
+        assert incremental.final_cost_ms == eager.final_cost_ms
+        assert incremental.final_graph.structural_hash() \
+            == eager.final_graph.structural_hash()
+        assert incremental.applied_rules == eager.applied_rules
+        assert incremental.stats == eager.stats
+
+
+# ---------------------------------------------------------------------------
+# Satellite refactors: worklist DCE and rule lookup
+# ---------------------------------------------------------------------------
+
+def _reference_eliminate_dead_nodes(graph):
+    """The seed's O(n^2) fixed-point loop, kept as the oracle."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(graph.nodes):
+            node = graph.nodes[nid]
+            if node.op_type in (OpType.INPUT, OpType.OUTPUT):
+                continue
+            if not graph.out_edges(nid):
+                graph.remove_node(nid)
+                removed += 1
+                changed = True
+    return removed
+
+
+class TestDeadNodeElimination:
+    def test_worklist_matches_fixed_point(self, model_graph):
+        # Orphan a chunk of the graph, then compare both eliminators.
+        for candidate in default_ruleset().lazy_candidates(model_graph)[:5]:
+            if candidate.materialise() is None:
+                continue
+            dirty = candidate.graph.copy()
+            sink = dirty.sink_nodes()[0]
+            # A dead chain: relu -> relu hanging off an existing node.
+            a = dirty.add_node(OpType.RELU, [sink])
+            dirty.add_node(OpType.RELU, [a])
+            reference = dirty.copy()
+            removed_ref = _reference_eliminate_dead_nodes(reference)
+            removed_new = eliminate_dead_nodes(dirty)
+            assert removed_new == removed_ref
+            assert set(dirty.nodes) == set(reference.nodes)
+            assert dirty.structural_hash() == reference.structural_hash()
+
+    def test_preserves_inputs_and_outputs(self):
+        graph = Graph("t")
+        x = graph.add_node(OpType.INPUT, (), {"shape": (1, 4)})
+        assert eliminate_dead_nodes(graph) == 0
+        assert x in graph.nodes
+
+
+class TestRuleLookup:
+    def test_rule_by_name(self):
+        ruleset = default_ruleset()
+        for name in ruleset.names():
+            assert ruleset.rule(name).name == name
+
+    def test_unknown_rule_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            default_ruleset().rule("no-such-rule")
+
+    def test_extended_ruleset_lookup(self):
+        extended = default_ruleset().extended([_ExplodingRule()])
+        assert extended.rule("exploding").name == "exploding"
