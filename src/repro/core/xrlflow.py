@@ -40,7 +40,30 @@ OptimisationResult = SearchResult
 
 
 class XRLflow:
-    """Graph-RL tensor graph superoptimiser (the paper's system)."""
+    """Graph-RL tensor graph superoptimiser (the paper's system).
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters (the paper's Table 4 via :class:`XRLflowConfig`;
+        ``XRLflowConfig.fast()`` is the CI-sized preset).  Validated at
+        construction — invalid values raise ``ValueError`` here.
+    ruleset:
+        Rewrite rules forming the environment's action space (defaults to
+        the curated TASO set).
+    e2e:
+        End-to-end latency simulator — the reward signal.
+    cost_model:
+        Used only to report initial/final cost-model estimates alongside
+        the latencies.
+
+    Attributes
+    ----------
+    agent:
+        The trained :class:`XRLflowAgent`, or ``None`` before training.
+    history:
+        The last :class:`TrainingHistory`, or ``None`` before training.
+    """
 
     name = "xrlflow"
 
@@ -79,7 +102,25 @@ class XRLflow:
     # ------------------------------------------------------------------
     def train(self, graph: Graph, num_episodes: Optional[int] = None,
               log_fn=None) -> TrainingHistory:
-        """Train a fresh agent on ``graph`` for ``num_episodes`` episodes."""
+        """Train a fresh agent on ``graph`` for ``num_episodes`` episodes.
+
+        Replaces any previously trained :attr:`agent`.
+
+        Parameters
+        ----------
+        graph:
+            The training environment's target graph (never mutated).
+        num_episodes:
+            Episode budget; defaults to ``config.num_episodes``.
+        log_fn:
+            Optional ``log_fn(episode_record)`` progress callback.
+
+        Returns
+        -------
+        TrainingHistory
+            Per-episode rewards, latencies and applied rules; also kept on
+            :attr:`history`.
+        """
         cfg = self.config
         env = self._build_env(graph)
         self.agent = self._build_agent()
@@ -111,6 +152,29 @@ class XRLflow:
         seen across training exploration and the deterministic evaluation
         episodes — the RL agent's reward signal *is* the end-to-end latency,
         so every graph it visits has already been measured.
+
+        Parameters
+        ----------
+        graph:
+            The graph to optimise (never mutated).
+        model_name:
+            Label for the result; defaults to ``graph.name``.
+        train:
+            Train a fresh agent first (the default).  ``False`` reuses the
+            current :attr:`agent` — e.g. one restored via
+            :meth:`load_agent` for the paper's shape-generalisation
+            protocol; if no agent exists yet, training happens anyway.
+        log_fn:
+            Optional training progress callback (see :meth:`train`).
+
+        Returns
+        -------
+        SearchResult
+            Best graph with end-to-end latencies, applied rules, and
+            training diagnostics (``train_time_s``, ``episodes_trained``,
+            ``mean_recent_reward``) under ``stats``.
+            ``optimisation_time_s`` covers only the evaluation episodes;
+            training cost is reported separately in ``stats``.
         """
         cfg = self.config
         with timed() as elapsed:
@@ -171,13 +235,42 @@ class XRLflow:
 
     # ------------------------------------------------------------------
     def save_agent(self, path: str) -> None:
-        """Persist the trained agent's parameters to an ``.npz`` file."""
+        """Persist the trained agent's parameters to an ``.npz`` file.
+
+        Parameters
+        ----------
+        path:
+            Destination file (numpy appends ``.npz`` if missing).
+
+        Raises
+        ------
+        RuntimeError
+            If no agent has been trained yet.
+        """
         if self.agent is None:
             raise RuntimeError("no trained agent to save")
         np.savez(path, **self.agent.state_dict())
 
     def load_agent(self, path: str) -> None:
-        """Load agent parameters previously written by :meth:`save_agent`."""
+        """Load agent parameters previously written by :meth:`save_agent`.
+
+        Builds a fresh agent from the current ``config`` (architecture
+        hyper-parameters must match the saved agent's) and replaces
+        :attr:`agent`; pair with ``optimise(train=False)`` to reuse it.
+
+        Parameters
+        ----------
+        path:
+            An ``.npz`` file from :meth:`save_agent`.
+
+        Raises
+        ------
+        FileNotFoundError
+            If ``path`` does not exist.
+        KeyError
+            If the file's parameters do not match this config's
+            architecture.
+        """
         state = dict(np.load(path))
         self.agent = self._build_agent()
         self.agent.load_state_dict(state)

@@ -77,7 +77,23 @@ class TASOOptimizer:
 
     # ------------------------------------------------------------------
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
-        """Run the backtracking search and return the best graph found."""
+        """Run the backtracking search and return the best graph found.
+
+        Parameters
+        ----------
+        graph:
+            The input graph; never mutated (every rewrite produces a copy).
+        model_name:
+            Label for the result; defaults to ``graph.name``.
+
+        Returns
+        -------
+        SearchResult
+            The graph with the lowest *cost-model* estimate encountered,
+            with true end-to-end latencies of the initial and final graphs
+            filled in for reporting, and search diagnostics under
+            ``stats`` (iterations, candidates generated/enqueued).
+        """
         with timed() as elapsed:
             if self.incremental:
                 initial_cost = self.cost_model.estimate_cached(graph)

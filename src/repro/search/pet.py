@@ -95,7 +95,28 @@ def pet_ruleset() -> RuleSet:
 
 
 class PETOptimizer(TASOOptimizer):
-    """Backtracking search over the PET rule set with PET's cost model."""
+    """Backtracking search over the PET rule set with PET's cost model.
+
+    Identical search mechanics to :class:`TASOOptimizer` (including the
+    ``incremental`` flag), with two PET-specific substitutions wired in by
+    default:
+
+    Parameters
+    ----------
+    ruleset:
+        Defaults to :func:`pet_ruleset` — the curated TASO rules *plus*
+        the partially-equivalent :class:`ConvToWinogradGemm` family.
+    cost_model:
+        Defaults to ``CostModel(ignore_elementwise=True)``, reproducing
+        PET's element-wise-blind objective (so the correction kernels its
+        partial rewrites introduce are invisible to the search — the
+        paper's Table 2 failure mode on ResNeXt-50).
+    e2e:
+        End-to-end simulator for *reporting* true latency only.
+    **kwargs:
+        Forwarded to :class:`TASOOptimizer` (``alpha``,
+        ``max_iterations``, ``queue_capacity``, ``incremental``).
+    """
 
     name = "pet"
 

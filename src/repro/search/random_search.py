@@ -23,7 +23,24 @@ __all__ = ["RandomSearchOptimizer"]
 
 
 class RandomSearchOptimizer:
-    """Repeated random rewrite walks, keeping the best end graph seen."""
+    """Repeated random rewrite walks, keeping the best end graph seen.
+
+    Parameters
+    ----------
+    ruleset:
+        Rewrite rules to draw random candidates from.
+    e2e:
+        End-to-end simulator; the walk's objective (each finished walk's
+        end graph is measured, best-of-walks wins).
+    cost_model:
+        Used only to report initial/final cost-model estimates.
+    num_walks:
+        Independent walks from the input graph.
+    horizon:
+        Rewrite steps per walk (walks stop early when no rule applies).
+    seed:
+        RNG seed; fixed seed → deterministic walks.
+    """
 
     name = "random"
 
@@ -41,6 +58,22 @@ class RandomSearchOptimizer:
         self._rng = np.random.default_rng(seed)
 
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
+        """Run ``num_walks`` random walks and keep the best end graph.
+
+        Parameters
+        ----------
+        graph:
+            The input graph; never mutated.
+        model_name:
+            Label for the result; defaults to ``graph.name``.
+
+        Returns
+        -------
+        SearchResult
+            Best-of-walks by simulated end-to-end latency (the input graph
+            itself if no walk improved on it), with ``stats`` recording
+            walks taken and total steps.
+        """
         with timed() as elapsed:
             initial_latency = self.e2e.latency_ms(graph)
             best_graph, best_latency, best_rules = graph, initial_latency, []

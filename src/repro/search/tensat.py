@@ -24,6 +24,25 @@ class TensatOptimizer:
     explosive merge rules participate in.  Extraction uses the per-node cost
     model — an end-to-end latency signal cannot be used for extraction, which
     is one of the limitations the paper discusses.
+
+    Parameters
+    ----------
+    ruleset:
+        Rewrite rules to saturate over (defaults to the curated set).
+    cost_model:
+        Per-node cost model used for extraction.
+    e2e:
+        End-to-end simulator used only for *reporting* true latency of the
+        initial and extracted graphs.
+    node_limit:
+        Stop growing the rewrite space beyond this many total nodes.
+    round_limit:
+        Maximum saturation rounds.
+    multi_pattern_rounds:
+        Rounds in which the explosive multi-pattern (merge) rules fire —
+        the paper's ``k``.
+    per_round_cap:
+        Maximum candidates admitted into the space per round.
     """
 
     name = "tensat"
@@ -44,6 +63,21 @@ class TensatOptimizer:
                                 per_round_cap=per_round_cap)
 
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
+        """Saturate the rewrite space around ``graph``, then extract.
+
+        Parameters
+        ----------
+        graph:
+            The input graph; never mutated.
+        model_name:
+            Label for the result; defaults to ``graph.name``.
+
+        Returns
+        -------
+        SearchResult
+            The cheapest extracted graph, with exploration diagnostics
+            (rounds, population size, nodes explored) under ``stats``.
+        """
         with timed() as elapsed:
             population, stats = self.space.explore(graph)
             best_graph, best_rules, best_cost = self.space.extract(

@@ -1,29 +1,46 @@
-"""Optimisation-as-a-service: registry, fingerprint cache, job scheduler.
+"""Optimisation-as-a-service: registry, cache, scheduler, worker backends.
 
 The offline loop (build a graph, run one optimiser, report latency) becomes a
 serving layer here:
 
 * :mod:`repro.service.registry` — name → optimiser factory with defaults
-* :mod:`repro.service.cache` — fingerprint cache (in-memory LRU + JSON tier)
+* :mod:`repro.service.cache` — fingerprint cache (in-memory LRU + a locked,
+  evicting, multi-process-safe JSON tier)
 * :mod:`repro.service.scheduler` — bounded submit/poll/result job scheduler
+  over thread / process / async worker backends
+* :mod:`repro.service.async_pool` — asyncio event loop driving local process
+  workers and remote JSON-RPC boxes
+* :mod:`repro.service.remote` — the off-box worker protocol
+  (:class:`WorkerServer` / :class:`RemoteWorkerClient`)
 * :mod:`repro.service.worker` — per-worker job execution
 * :mod:`repro.service.api` — the :class:`OptimisationService` batch façade
+  (admission-time caching + in-flight dedup)
 * :mod:`repro.service.cli` — ``python -m repro.service`` front end
+
+See ``docs/service.md`` for the operations guide.
 """
 
 from .api import OptimisationService
-from .cache import CacheEntry, CacheStats, FingerprintCache, request_fingerprint
+from .async_pool import AsyncWorkerPool
+from .cache import (CacheEntry, CacheStats, EvictionPolicy, FingerprintCache,
+                    request_fingerprint)
 from .registry import (create_optimiser, default_config, list_optimisers,
                        optimiser_spec, register_optimiser, OptimiserSpec)
+from .remote import (RemoteUnavailableError, RemoteWorkerClient,
+                     RemoteWorkerError, WorkerServer)
 from .scheduler import (JobRecord, JobScheduler, JobState, QueueFullError,
                         UnknownJobError)
 from .worker import JobRequest, ServiceResult, execute_request
 
 __all__ = [
     "OptimisationService",
-    "CacheEntry", "CacheStats", "FingerprintCache", "request_fingerprint",
+    "AsyncWorkerPool",
+    "CacheEntry", "CacheStats", "EvictionPolicy", "FingerprintCache",
+    "request_fingerprint",
     "OptimiserSpec", "create_optimiser", "default_config", "list_optimisers",
     "optimiser_spec", "register_optimiser",
+    "RemoteUnavailableError", "RemoteWorkerClient", "RemoteWorkerError",
+    "WorkerServer",
     "JobRecord", "JobScheduler", "JobState", "QueueFullError", "UnknownJobError",
     "JobRequest", "ServiceResult", "execute_request",
 ]

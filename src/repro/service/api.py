@@ -14,20 +14,23 @@ submit / poll / result semantics::
 
 Cache policy: the cache is consulted once, at submission time.  A hit
 short-circuits the search entirely (the job completes with the cached graph
-in microseconds); a miss dispatches a real search whose result is written
-back on success.  Identical requests submitted concurrently before the first
-completes will each run — accept the duplicate work rather than serialising
-admission behind in-flight searches.
+in microseconds).  A miss checks the *in-flight table*: if an identical
+fingerprint is already searching, the new submission is attached to that
+job (admission-time dedup — one search, every waiter gets the result).
+Only a genuinely novel request dispatches a search, whose result is written
+back to the cache on success.  ``use_cache=False`` opts a submission out of
+both the cache *and* dedup.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..ir.graph import Graph
-from .cache import CacheEntry, FingerprintCache
+from .cache import CacheEntry, EvictionPolicy, FingerprintCache
 from .registry import optimiser_spec
 from .scheduler import JobScheduler, JobState, UnknownJobError
 from .worker import JobRequest, ServiceResult, cached_result, execute_request
@@ -42,32 +45,60 @@ BatchItem = Union[Graph, "JobRequest", Mapping[str, Any], tuple]
 class OptimisationService:
     """Optimisation-as-a-service over the optimiser registry.
 
-    Parameters
-    ----------
-    num_workers:
-        Worker-pool size for concurrent search jobs.
-    cache:
-        A pre-built :class:`FingerprintCache` to share between services;
-        built from ``cache_capacity`` / ``cache_dir`` when omitted.
-    cache_dir:
-        Enables the persistent JSON cache tier under this directory.
-    max_pending:
-        Bounded admission queue (see :class:`JobScheduler`).
-    use_processes:
-        Use a process pool for true parallelism of the pure-Python searches.
+    Args:
+        num_workers: Worker-pool size for concurrent search jobs.
+        cache: A pre-built :class:`FingerprintCache` to share between
+            services; built from ``cache_capacity`` / ``cache_dir`` /
+            ``cache_policy`` when omitted.
+        cache_capacity: In-memory LRU tier size (entries).
+        cache_dir: Enables the persistent JSON cache tier under this
+            directory.  The tier is multi-process safe (advisory locking +
+            atomic publishes), so many services — on one host or a shared
+            filesystem — can point at the same directory.
+        cache_policy: Eviction bounds for the persistent tier (max entries
+            / max bytes / TTL); unbounded when omitted.
+        max_pending: Bounded admission queue (see :class:`JobScheduler`).
+        use_processes: Back-compat alias for ``backend="process"``.
+        backend: Worker flavour — ``"thread"`` (default), ``"process"``,
+            or ``"async"`` (event loop over local process workers and any
+            ``remote_endpoints``).
+        remote_endpoints: ``"host:port"`` strings of
+            :class:`~repro.service.remote.WorkerServer` boxes; implies the
+            async backend unless one was named explicitly.
+
+    Raises:
+        ValueError: If ``backend`` is not a recognised name.
     """
 
     def __init__(self, num_workers: int = 4,
                  cache: Optional[FingerprintCache] = None,
                  cache_capacity: int = 256,
                  cache_dir: Optional[str] = None,
+                 cache_policy: Optional[EvictionPolicy] = None,
                  max_pending: int = 256,
-                 use_processes: bool = False):
+                 use_processes: bool = False,
+                 backend: Optional[str] = None,
+                 remote_endpoints: Optional[Sequence[str]] = None):
         self.cache = cache if cache is not None else FingerprintCache(
-            capacity=cache_capacity, cache_dir=cache_dir)
+            capacity=cache_capacity, cache_dir=cache_dir, policy=cache_policy)
+        if backend is None and remote_endpoints:
+            backend = "async"
         self.scheduler = JobScheduler(num_workers=num_workers,
                                       max_pending=max_pending,
-                                      use_processes=use_processes)
+                                      use_processes=use_processes,
+                                      backend=backend,
+                                      remote_endpoints=list(remote_endpoints
+                                                            or []))
+        # Admission-time dedup: fingerprint → primary job id, plus the
+        # original request of every follower so its result can be
+        # relabelled at pickup.
+        self._inflight: Dict[str, int] = {}
+        self._followers: Dict[int, JobRequest] = {}
+        # RLock: a job that finishes before its done-callback is registered
+        # runs the in-flight cleanup synchronously on the submitting thread,
+        # re-entering while submit_request still holds the lock.
+        self._dedup_lock = threading.RLock()
+        self._coalesced_total = 0
 
     # -- submission ----------------------------------------------------
     def submit(self, graph: Graph, optimiser: str = "taso",
@@ -75,7 +106,24 @@ class OptimisationService:
                model_name: str = "", use_cache: bool = True) -> int:
         """Queue one optimisation job; returns its job id immediately.
 
-        Unknown optimiser names raise ``KeyError`` here, not in the worker.
+        Args:
+            graph: The tensor graph to optimise.
+            optimiser: Registered optimiser name (see
+                :func:`~repro.service.registry.list_optimisers`).
+            config: Optimiser config overrides, merged over the registry
+                defaults before fingerprinting.
+            model_name: Label for reporting; defaults to the graph's name.
+            use_cache: Consult the fingerprint cache and in-flight dedup
+                table at admission.  ``False`` forces a fresh search and
+                leaves the cache untouched.
+
+        Returns:
+            The job id (pass to :meth:`poll` / :meth:`result`).
+
+        Raises:
+            KeyError: For an unknown optimiser name — raised here, not in
+                the worker.
+            QueueFullError: If the admission queue is at capacity.
         """
         request = JobRequest(graph=graph, optimiser=optimiser,
                              config=dict(config or {}),
@@ -83,6 +131,19 @@ class OptimisationService:
         return self.submit_request(request)
 
     def submit_request(self, request: JobRequest) -> int:
+        """Admit one :class:`JobRequest`; returns its job id.
+
+        Admission order: cache lookup → in-flight dedup → fresh dispatch.
+        A cache hit completes inline; a fingerprint already being searched
+        attaches this submission to the in-flight job (no new work); only
+        a novel fingerprint reaches the worker pool.
+
+        Raises:
+            KeyError: For an unknown optimiser name.
+            QueueFullError: If ``max_pending`` novel jobs are already open
+                (cache hits and coalesced followers are exempt — they add
+                no work).
+        """
         # Canonicalise to the *effective* config — registry defaults merged
         # under the overrides — so spelling a default out explicitly shares a
         # cache slot with omitting it, and a later change to a registry
@@ -93,23 +154,58 @@ class OptimisationService:
         if request.optimiser != spec.name or effective != dict(request.config):
             request = replace(request, optimiser=spec.name, config=effective)
         fingerprint = request.fingerprint()
-        if request.use_cache:
-            started = time.perf_counter()
-            entry = self.cache.get(fingerprint)
-            if entry is not None:
-                # Complete the job inline: a hit never touches the worker
-                # pool, so warm traffic costs neither a dispatch nor (with a
-                # process pool) a round of graph pickling.
-                result = cached_result(request, entry,
-                                       time.perf_counter() - started)
-                return self.scheduler.submit_completed(
-                    result, label=f"{request.label} (cached)")
-            on_success = self._store_callback(fingerprint)
-        else:
-            on_success = None
-        return self.scheduler.submit(execute_request, request, fingerprint,
-                                     label=request.label,
-                                     on_success=on_success)
+        if not request.use_cache:
+            return self.scheduler.submit(execute_request, request, fingerprint,
+                                         label=request.label)
+        started = time.perf_counter()
+        entry = self.cache.get(fingerprint)
+        if entry is not None:
+            # Complete the job inline: a hit never touches the worker
+            # pool, so warm traffic costs neither a dispatch nor (with a
+            # process pool) a round of graph pickling.
+            result = cached_result(request, entry,
+                                   time.perf_counter() - started)
+            return self.scheduler.submit_completed(
+                result, label=f"{request.label} (cached)")
+        with self._dedup_lock:
+            primary_id = self._inflight.get(fingerprint)
+            if primary_id is not None:
+                try:
+                    follower_id = self.scheduler.attach(
+                        primary_id, label=f"{request.label} (coalesced)")
+                except UnknownJobError:
+                    # The primary finished and was retired between its
+                    # in-flight cleanup and now; fall through to a fresh
+                    # dispatch (the cache very likely serves the next one).
+                    pass
+                else:
+                    self._followers[follower_id] = request
+                    self._coalesced_total += 1
+                    return follower_id
+            # The registration cell closes the race with ultra-fast jobs:
+            # if the job is already terminal when its done-callback is
+            # attached, ``release`` runs (on this thread) before we learn
+            # the job id — it records that fact so we skip registering a
+            # fingerprint that would never be cleaned up.
+            cell: Dict[str, Any] = {"job_id": None, "done": False}
+
+            def release(_future: Any) -> None:
+                with self._dedup_lock:
+                    cell["done"] = True
+                    job_id = cell["job_id"]
+                    if job_id is not None and \
+                            self._inflight.get(fingerprint) == job_id:
+                        del self._inflight[fingerprint]
+
+            job_id = self.scheduler.submit(
+                execute_request, request, fingerprint,
+                label=request.label,
+                on_success=self._store_callback(fingerprint),
+                on_done=release)
+            cell["job_id"] = job_id
+            if not cell["done"]:
+                self._inflight[fingerprint] = job_id
+            return job_id
 
     def submit_batch(self, jobs: Iterable[BatchItem],
                      optimiser: str = "taso",
@@ -163,13 +259,56 @@ class OptimisationService:
 
     # -- polling / results ---------------------------------------------
     def poll(self, job_id: int) -> JobState:
-        """Non-blocking job state."""
+        """Non-blocking job state.
+
+        Args:
+            job_id: A job id from any of the submit methods.
+
+        Returns:
+            The job's current :class:`JobState`.
+
+        Raises:
+            UnknownJobError: If the id was never issued or was retired.
+        """
         return self.scheduler.poll(job_id)
 
     def result(self, job_id: int,
                timeout: Optional[float] = None) -> ServiceResult:
-        """Block until ``job_id`` finishes; re-raises the job's exception."""
-        outcome: ServiceResult = self.scheduler.result(job_id, timeout)
+        """Block until ``job_id`` finishes and return its result.
+
+        For a coalesced (deduplicated) submission this returns the primary
+        job's outcome relabelled with *this* submission's model name and
+        flagged ``coalesced=True``.
+
+        Args:
+            job_id: A job id from any of the submit methods.
+            timeout: Seconds to wait before raising
+                :class:`concurrent.futures.TimeoutError`.
+
+        Returns:
+            The job's :class:`ServiceResult` with timing fields filled in.
+
+        Raises:
+            UnknownJobError: If the id was never issued or was retired.
+            Exception: Whatever the search job itself raised (a failed
+                primary fans its error out to every coalesced follower).
+        """
+        try:
+            outcome: ServiceResult = self.scheduler.result(job_id, timeout)
+        except TimeoutError:
+            raise  # job still running — keep the follower mapping for retry
+        except BaseException:
+            # Terminal failure: drop the follower bookkeeping (it pins the
+            # request graph) before fanning the error out.
+            with self._dedup_lock:
+                self._followers.pop(job_id, None)
+            raise
+        with self._dedup_lock:
+            follower_request = self._followers.pop(job_id, None)
+        if follower_request is not None:
+            name = follower_request.model_name or follower_request.graph.name
+            outcome = replace(outcome, coalesced=True,
+                              search=replace(outcome.search, model=name))
         try:
             record = self.scheduler.record(job_id)
             queue_time = record.queue_time_s or 0.0
@@ -183,7 +322,18 @@ class OptimisationService:
 
     def gather(self, job_ids: Sequence[int],
                timeout: Optional[float] = None) -> List[ServiceResult]:
-        """Results for ``job_ids``, in the given (submission) order."""
+        """Results for ``job_ids``, in the given (submission) order.
+
+        Args:
+            job_ids: Ids to collect, typically from :meth:`submit_batch`.
+            timeout: Per-job wait bound, applied to each id in turn.
+
+        Returns:
+            One :class:`ServiceResult` per id, order-aligned.
+
+        Raises:
+            Exception: The first failing job's error, like :meth:`result`.
+        """
         return [self.result(job_id, timeout) for job_id in job_ids]
 
     # -- synchronous conveniences --------------------------------------
@@ -191,7 +341,7 @@ class OptimisationService:
                  config: Optional[Mapping[str, Any]] = None,
                  model_name: str = "", use_cache: bool = True,
                  timeout: Optional[float] = None) -> ServiceResult:
-        """submit + result in one call."""
+        """submit + result in one call (arguments as in :meth:`submit`)."""
         job_id = self.submit(graph, optimiser=optimiser, config=config,
                              model_name=model_name, use_cache=use_cache)
         return self.result(job_id, timeout)
@@ -208,17 +358,42 @@ class OptimisationService:
 
     # -- introspection / lifecycle -------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Service counters: worker pool, job states, cache accounting."""
-        return {
+        """Service counters: worker pool, job states, cache, dedup.
+
+        Returns:
+            A dict with ``workers``, ``backend``, ``jobs`` (state tallies),
+            ``cache_entries`` / ``cache`` (tier accounting), ``dedup``
+            (coalesced submissions, current in-flight table size) and — on
+            the async backend — ``pool`` dispatch counters.
+        """
+        with self._dedup_lock:
+            dedup = {"coalesced": self._coalesced_total,
+                     "inflight": len(self._inflight)}
+        stats = {
             "workers": self.scheduler.num_workers,
+            "backend": self.scheduler.backend,
             "use_processes": self.scheduler.use_processes,
             "jobs": self.scheduler.counts(),
             "cache_entries": len(self.cache),
             "cache": self.cache.stats.to_dict(),
+            "dedup": dedup,
         }
+        pool_stats = self.scheduler.pool_stats()
+        if pool_stats is not None:
+            stats["pool"] = pool_stats
+        return stats
 
     def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down.
+
+        Args:
+            wait: Block until in-flight jobs finish (results stay
+                retrievable); ``False`` abandons them.
+        """
         self.scheduler.shutdown(wait=wait)
+        with self._dedup_lock:
+            self._inflight.clear()
+            self._followers.clear()
 
     def __enter__(self) -> "OptimisationService":
         return self

@@ -1,0 +1,187 @@
+"""Asyncio-driven worker pool: local process workers + remote JSON-RPC boxes.
+
+:class:`AsyncWorkerPool` is an :class:`concurrent.futures.Executor`-shaped
+backend for :class:`~repro.service.scheduler.JobScheduler` (``backend=
+"async"``).  A dedicated thread runs an asyncio event loop; every submitted
+job becomes a coroutine on that loop, which either
+
+* awaits a **local process worker** (``loop.run_in_executor`` over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`), or
+* awaits a **remote worker** over the JSON-RPC protocol in
+  :mod:`repro.service.remote`, when the pool was given
+  ``remote_endpoints`` and the job is an optimisation request
+  (``execute_request``-shaped — the only job type with a wire encoding).
+
+Remote dispatch is round-robin across endpoints, skipping any whose
+in-flight slots are saturated (a job never parks behind one slow box; if
+every endpoint is saturated it spills to the local pool).  A *transport*
+failure (box unreachable / dropped mid-call) falls back to local
+execution and is counted in :attr:`AsyncWorkerPool.stats` — an in-search
+failure on the remote side propagates to the caller like any job error.
+
+Because one event loop multiplexes every in-flight job, thousands of queued
+jobs cost one coroutine each rather than one thread each, and slow remote
+calls never occupy a local worker slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import threading
+from concurrent import futures
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from . import remote
+from .worker import execute_request
+
+__all__ = ["AsyncWorkerPool"]
+
+
+class AsyncWorkerPool:
+    """Event-loop executor over local process workers and remote endpoints.
+
+    Satisfies the slice of the :class:`concurrent.futures.Executor`
+    interface the scheduler uses (``submit`` / ``shutdown``), so it drops
+    in behind :class:`~repro.service.scheduler.JobScheduler`.
+
+    Args:
+        num_workers: Local process-pool size, and the cap on concurrently
+            *dispatched* local jobs.
+        remote_endpoints: ``"host:port"`` strings of
+            :class:`~repro.service.remote.WorkerServer` boxes.  Empty means
+            all work runs locally.
+        max_remote_inflight: Concurrent calls allowed *per endpoint*
+            (matches the remote ``num_workers`` in a homogeneous fleet).
+        local_threads: Run local jobs on a thread pool instead of
+            processes — only sensible for tests and cache-dominated
+            traffic; real searches want process parallelism.
+    """
+
+    def __init__(self, num_workers: int = 4,
+                 remote_endpoints: Optional[Sequence[str]] = None,
+                 max_remote_inflight: int = 4,
+                 local_threads: bool = False):
+        self.num_workers = max(1, int(num_workers))
+        self.remote_endpoints = [str(e) for e in (remote_endpoints or [])]
+        self.max_remote_inflight = max(1, int(max_remote_inflight))
+        self._stats_lock = threading.Lock()
+        self._dispatched_local = 0
+        self._dispatched_remote = 0
+        self._remote_fallbacks = 0
+        if local_threads:
+            self._local: futures.Executor = futures.ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="repro-async-local")
+        else:
+            self._local = futures.ProcessPoolExecutor(
+                max_workers=self.num_workers)
+        self._loop = asyncio.new_event_loop()
+        self._local_slots = asyncio.Semaphore(self.num_workers)
+        self._remote_slots = {
+            endpoint: asyncio.Semaphore(self.max_remote_inflight)
+            for endpoint in self.remote_endpoints
+        }
+        self._rr = itertools.cycle(self.remote_endpoints) \
+            if self.remote_endpoints else None
+        self._inflight: set = set()
+        self._closed = False
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        name="repro-async-pool", daemon=True)
+        self._thread.start()
+
+    # -- executor interface --------------------------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> "futures.Future":
+        """Schedule ``fn(*args, **kwargs)`` on the event loop.
+
+        Returns:
+            A :class:`concurrent.futures.Future` (what
+            ``asyncio.run_coroutine_threadsafe`` hands back), so scheduler
+            bookkeeping is backend-agnostic.
+
+        Raises:
+            RuntimeError: If the pool has been shut down.
+        """
+        if self._closed:
+            raise RuntimeError("AsyncWorkerPool is shut down")
+        future = asyncio.run_coroutine_threadsafe(
+            self._dispatch(fn, args, kwargs), self._loop)
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+        return future
+
+    def _pick_endpoint(self) -> Optional[str]:
+        """Next round-robin endpoint with a free slot, or ``None``.
+
+        Skipping saturated endpoints avoids head-of-line blocking: a job
+        never parks behind one slow box while other endpoints (or the
+        local pool) sit idle.  When every endpoint is saturated the job
+        spills to the local process pool.
+        """
+        for _ in range(len(self.remote_endpoints)):
+            endpoint = next(self._rr)
+            if not self._remote_slots[endpoint].locked():
+                return endpoint
+        return None
+
+    async def _dispatch(self, fn: Callable[..., Any], args: tuple,
+                        kwargs: dict) -> Any:
+        if self._rr is not None and fn is execute_request:
+            endpoint = self._pick_endpoint()
+            if endpoint is not None:
+                async with self._remote_slots[endpoint]:
+                    try:
+                        result = await remote.optimise_async(endpoint, *args)
+                    except remote.RemoteUnavailableError:
+                        with self._stats_lock:
+                            self._remote_fallbacks += 1
+                    else:
+                        with self._stats_lock:
+                            self._dispatched_remote += 1
+                        return result
+        async with self._local_slots:
+            with self._stats_lock:
+                self._dispatched_local += 1
+            return await self._loop.run_in_executor(
+                self._local, functools.partial(fn, *args, **kwargs))
+
+    # -- introspection -------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Dispatch counters: local jobs, remote jobs, remote fallbacks."""
+        with self._stats_lock:
+            return {
+                "dispatched_local": self._dispatched_local,
+                "dispatched_remote": self._dispatched_remote,
+                "remote_fallbacks": self._remote_fallbacks,
+            }
+
+    def ping_endpoints(self) -> Dict[str, bool]:
+        """Probe every configured endpoint; ``{endpoint: reachable}``."""
+        health: Dict[str, bool] = {}
+        for endpoint in self.remote_endpoints:
+            try:
+                with remote.RemoteWorkerClient(endpoint, timeout_s=5.0) as c:
+                    c.ping()
+                health[endpoint] = True
+            except (remote.RemoteUnavailableError, OSError):
+                health[endpoint] = False
+        return health
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for in-flight jobs."""
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            futures.wait(list(self._inflight))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._local.shutdown(wait=wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return (f"AsyncWorkerPool(workers={self.num_workers}, "
+                f"endpoints={self.remote_endpoints}, stats={self.stats})")

@@ -9,26 +9,57 @@ through different code paths therefore share one cache slot.
 Results live in an in-memory LRU tier and are optionally mirrored to a
 directory of JSON documents (built on :mod:`repro.ir.serialize`), so a warmed
 cache survives the process and can be shipped between machines.
+
+The persistent tier is safe to share between many service processes on one
+host (or one shared filesystem):
+
+* every entry write goes to a unique temporary file and is published with an
+  atomic ``rename``, so readers never observe a torn document;
+* mutating multi-file operations (store + evict, prune, clear) run under an
+  advisory ``flock`` on ``<cache_dir>/.lock``; readers take a shared lock;
+* each entry records a version (:data:`ENTRY_VERSION`) and its creation
+  time, and every read refreshes the file's mtime — the *access stamp* that
+  LRU eviction orders by;
+* an :class:`EvictionPolicy` (max entries / max bytes / TTL) bounds the
+  directory; policy is enforced after every store and on demand via
+  :meth:`FingerprintCache.prune_persistent`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..ir.graph import Graph
 from ..ir.serialize import graph_from_dict, graph_to_dict
 from ..search.result import SearchResult
 
-__all__ = ["CacheEntry", "CacheStats", "FingerprintCache",
-           "request_fingerprint"]
+try:  # POSIX advisory locking; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only off-POSIX
+    fcntl = None
 
-_ENTRY_VERSION = 1
+__all__ = ["CacheEntry", "CacheStats", "EvictionPolicy", "FingerprintCache",
+           "request_fingerprint", "ENTRY_VERSION"]
+
+#: Version of the per-entry on-disk JSON schema.  Version 2 added
+#: ``created_at`` (wall-clock creation time).  Readers accept entries of the
+#: current version and every documented older one; unknown (newer) versions
+#: are treated as a miss so mixed-version fleets degrade to re-searching
+#: instead of crashing.
+ENTRY_VERSION = 2
+
+#: Entry schema versions this build can rehydrate.
+_READABLE_VERSIONS = (1, 2)
+
+_LOCK_FILENAME = ".lock"
 
 
 def _freeze(value: Any) -> Any:
@@ -56,7 +87,18 @@ def _freeze(value: Any) -> Any:
 
 def request_fingerprint(graph: Graph, optimiser: str,
                         config: Optional[Mapping[str, Any]] = None) -> str:
-    """The canonical cache key for optimising ``graph`` with ``optimiser``."""
+    """The canonical cache key for optimising ``graph`` with ``optimiser``.
+
+    Args:
+        graph: The input graph; enters the key via its structural hash, so
+            node-id relabellings of the same model share a fingerprint.
+        optimiser: Registered optimiser name (case-insensitive).
+        config: Optimiser config overrides; canonicalised with sorted keys
+            so spelling order cannot split the cache.
+
+    Returns:
+        A hex SHA-256 digest identifying the request.
+    """
     payload = {
         "graph": graph.structural_hash(),
         "optimiser": str(optimiser).lower(),
@@ -68,35 +110,135 @@ def request_fingerprint(graph: Graph, optimiser: str,
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`FingerprintCache`."""
+    """Hit/miss accounting for one :class:`FingerprintCache`.
+
+    Counters are *per-process*: a cache directory shared between service
+    processes is observed through each process's own stats object.
+    """
 
     memory_hits: int = 0
     persistent_hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
+    disk_expirations: int = 0
 
     @property
     def hits(self) -> int:
+        """Total hits across both tiers."""
         return self.memory_hits + self.persistent_hits
 
     @property
     def requests(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Hits over requests, 0.0 before any lookup."""
         return self.hits / self.requests if self.requests else 0.0
 
     def to_dict(self) -> Dict[str, float]:
+        """All counters plus the derived hit rate, JSON-friendly."""
         return {
             "memory_hits": self.memory_hits,
             "persistent_hits": self.persistent_hits,
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
+            "disk_expirations": self.disk_expirations,
             "hit_rate": self.hit_rate,
         }
+
+
+@dataclass(frozen=True)
+class EvictionPolicy:
+    """Bounds for the persistent cache tier.
+
+    Any field left ``None`` is unlimited.  Recency is judged by each entry
+    file's mtime, which doubles as the *access stamp*: stores set it and
+    every successful read refreshes it, so eviction is LRU rather than
+    insertion-order.
+
+    Attributes:
+        max_entries: Keep at most this many entry files on disk.
+        max_bytes: Keep the directory's entry files under this many bytes.
+        ttl_s: Entries not *accessed* for longer than this many seconds are
+            expired (deleted on the next lookup or prune).
+    """
+
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    ttl_s: Optional[float] = None
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any limit is actually set."""
+        return (self.max_entries is not None or self.max_bytes is not None
+                or self.ttl_s is not None)
+
+    def to_dict(self) -> Dict[str, Optional[float]]:
+        """The three bounds as a JSON-friendly dict."""
+        return {"max_entries": self.max_entries, "max_bytes": self.max_bytes,
+                "ttl_s": self.ttl_s}
+
+
+class _DirectoryLock:
+    """Advisory inter-process lock on ``<cache_dir>/.lock`` via ``flock``.
+
+    Reentrant per-process (guarded by an ``RLock``); degrades to
+    process-local locking where :mod:`fcntl` is unavailable.  Shared
+    (reader) and exclusive (writer) modes map to ``LOCK_SH``/``LOCK_EX``.
+    """
+
+    def __init__(self, directory: Path):
+        self._path = directory / _LOCK_FILENAME
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._fd: Optional[int] = None
+
+    def _acquire(self, exclusive: bool) -> None:
+        self._thread_lock.acquire()
+        self._depth += 1
+        if self._depth > 1 or fcntl is None:
+            return
+        fd = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        except OSError:  # pragma: no cover - e.g. NFS without lock support
+            os.close(fd)
+            return
+        self._fd = fd
+
+    def _release(self) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        self._thread_lock.release()
+
+    def shared(self) -> "_LockContext":
+        return _LockContext(self, exclusive=False)
+
+    def exclusive(self) -> "_LockContext":
+        return _LockContext(self, exclusive=True)
+
+
+class _LockContext:
+    def __init__(self, lock: _DirectoryLock, exclusive: bool):
+        self._lock = lock
+        self._exclusive = exclusive
+
+    def __enter__(self) -> None:
+        self._lock._acquire(self._exclusive)
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._lock._release()
 
 
 @dataclass
@@ -119,9 +261,19 @@ class CacheEntry:
     search_time_s: float
     applied_rules: List[str] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    created_at: float = 0.0
 
     @classmethod
     def from_result(cls, fingerprint: str, result: SearchResult) -> "CacheEntry":
+        """Build an entry from a finished search.
+
+        Args:
+            fingerprint: The request fingerprint the entry is keyed under.
+            result: The completed search whose outcome should be cached.
+
+        Returns:
+            A :class:`CacheEntry` stamped with the current wall-clock time.
+        """
         return cls(
             fingerprint=fingerprint,
             optimiser=result.optimiser,
@@ -134,6 +286,7 @@ class CacheEntry:
             search_time_s=result.optimisation_time_s,
             applied_rules=list(result.applied_rules),
             stats=dict(result.stats),
+            created_at=time.time(),
         )
 
     def to_result(self, initial_graph: Graph,
@@ -141,11 +294,17 @@ class CacheEntry:
                   model_name: str = "") -> SearchResult:
         """Rehydrate into a :class:`SearchResult` for the submitted graph.
 
-        ``optimisation_time_s`` reports the (tiny, but nonzero) retrieval
-        time; the original search cost is kept under ``stats["search_time_s"]``.
-        ``model_name`` relabels the result for the requesting caller —
-        structurally identical graphs submitted under different names share
-        the entry but keep their own label.
+        Args:
+            initial_graph: The graph the requesting caller submitted.
+            retrieval_time_s: How long the cache lookup took; reported as
+                the result's ``optimisation_time_s`` (the original search
+                cost is kept under ``stats["search_time_s"]``).
+            model_name: Relabels the result for the requesting caller —
+                structurally identical graphs submitted under different
+                names share the entry but keep their own label.
+
+        Returns:
+            A :class:`SearchResult` flagged with ``stats["cache_hit"]``.
         """
         return SearchResult(
             optimiser=self.optimiser,
@@ -163,8 +322,9 @@ class CacheEntry:
         )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialise to the version-:data:`ENTRY_VERSION` JSON document."""
         return {
-            "entry_version": _ENTRY_VERSION,
+            "entry_version": ENTRY_VERSION,
             "fingerprint": self.fingerprint,
             "optimiser": self.optimiser,
             "model": self.model,
@@ -176,11 +336,26 @@ class CacheEntry:
             "search_time_s": self.search_time_s,
             "applied_rules": list(self.applied_rules),
             "stats": dict(self.stats),
+            "created_at": self.created_at,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CacheEntry":
-        if data.get("entry_version") != _ENTRY_VERSION:
+        """Rehydrate an entry document.
+
+        Args:
+            data: A JSON document produced by :meth:`to_dict` (any version
+                in ``_READABLE_VERSIONS``; version-1 documents lack
+                ``created_at`` and get ``0.0``).
+
+        Returns:
+            The decoded :class:`CacheEntry`.
+
+        Raises:
+            ValueError: If the document's ``entry_version`` is unknown
+                (typically written by a newer build).
+        """
+        if data.get("entry_version") not in _READABLE_VERSIONS:
             raise ValueError(
                 f"unsupported cache entry version {data.get('entry_version')}")
         return cls(
@@ -195,30 +370,40 @@ class CacheEntry:
             search_time_s=float(data["search_time_s"]),
             applied_rules=list(data.get("applied_rules", [])),
             stats=dict(data.get("stats", {})),
+            created_at=float(data.get("created_at", 0.0)),
         )
 
 
 class FingerprintCache:
     """Two-tier (LRU memory + JSON directory) cache of optimisation results.
 
-    Thread-safe: scheduler workers and the submitting thread hit it
-    concurrently.
+    Thread-safe within a process (scheduler workers and the submitting
+    thread hit it concurrently) and — for the persistent tier — safe across
+    *processes* sharing one directory: writes are atomic rename-publishes
+    and multi-file operations take an advisory ``flock`` (see the module
+    docstring).
 
-    Parameters
-    ----------
-    capacity:
-        Maximum entries in the in-memory tier (LRU eviction beyond it).
-    cache_dir:
-        Optional directory for the persistent tier.  Entries evicted from
-        memory remain on disk and are transparently reloaded on access.
+    Args:
+        capacity: Maximum entries in the in-memory tier (LRU eviction
+            beyond it).
+        cache_dir: Optional directory for the persistent tier.  Entries
+            evicted from memory remain on disk and are transparently
+            reloaded on access.
+        policy: Bounds for the persistent tier (unbounded when omitted).
+            Enforced after every store; :meth:`prune_persistent` applies it
+            on demand.
     """
 
     def __init__(self, capacity: int = 256,
-                 cache_dir: Optional[Union[str, Path]] = None):
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 policy: Optional[EvictionPolicy] = None):
         self.capacity = max(1, int(capacity))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.policy = policy or EvictionPolicy()
+        self._dir_lock: Optional[_DirectoryLock] = None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._dir_lock = _DirectoryLock(self.cache_dir)
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats = CacheStats()
@@ -226,10 +411,16 @@ class FingerprintCache:
     # -- lookup --------------------------------------------------------
     def fingerprint(self, graph: Graph, optimiser: str,
                     config: Optional[Mapping[str, Any]] = None) -> str:
+        """Convenience wrapper around :func:`request_fingerprint`."""
         return request_fingerprint(graph, optimiser, config)
 
     def get(self, fingerprint: str) -> Optional[CacheEntry]:
-        """Return the cached entry or ``None``; updates hit/miss accounting."""
+        """Return the cached entry or ``None``; updates hit/miss accounting.
+
+        A persistent-tier hit refreshes the entry file's access stamp
+        (mtime) so LRU disk eviction keeps hot entries alive, and promotes
+        the entry into the memory tier.
+        """
         with self._lock:
             entry = self._entries.get(fingerprint)
             if entry is not None:
@@ -248,7 +439,12 @@ class FingerprintCache:
             return entry
 
     def put(self, entry: CacheEntry) -> None:
-        """Insert (or refresh) an entry in both tiers."""
+        """Insert (or refresh) an entry in both tiers.
+
+        The persistent store publishes atomically (unique temp file +
+        rename) and then enforces the eviction policy under the directory
+        lock.
+        """
         with self._lock:
             self.stats.puts += 1
             self._insert(entry.fingerprint, entry)
@@ -261,8 +457,8 @@ class FingerprintCache:
         with self._lock:
             if fingerprint in self._entries:
                 return True
-        return self._persistent_path(fingerprint) is not None and \
-            self._persistent_path(fingerprint).exists()
+        path = self._persistent_path(fingerprint)
+        return path is not None and path.exists()
 
     def __len__(self) -> int:
         with self._lock:
@@ -272,9 +468,34 @@ class FingerprintCache:
         """Drop the memory tier; also wipe disk entries if ``persistent``."""
         with self._lock:
             self._entries.clear()
-            if persistent and self.cache_dir is not None:
+        if persistent and self.cache_dir is not None:
+            with self._dir_lock.exclusive():
                 for path in self.cache_dir.glob("*.json"):
                     path.unlink(missing_ok=True)
+
+    # -- persistent-tier maintenance -----------------------------------
+    def prune_persistent(self) -> Dict[str, int]:
+        """Apply the eviction policy to the disk tier now.
+
+        Returns:
+            ``{"expired": n, "evicted": m}`` — entries removed because
+            their access stamp exceeded ``ttl_s``, and entries removed to
+            satisfy ``max_entries`` / ``max_bytes``.
+        """
+        if self.cache_dir is None:
+            return {"expired": 0, "evicted": 0}
+        with self._dir_lock.exclusive():
+            return self._enforce_policy_locked()
+
+    def persistent_usage(self) -> Dict[str, int]:
+        """Entry count and total byte size of the disk tier (0s if none)."""
+        entries = 0
+        size = 0
+        if self.cache_dir is not None:
+            for _, stat in self._scan_entries():
+                entries += 1
+                size += stat.st_size
+        return {"entries": entries, "bytes": size}
 
     # -- internals -----------------------------------------------------
     def _insert(self, fingerprint: str, entry: CacheEntry) -> None:
@@ -293,18 +514,98 @@ class FingerprintCache:
         path = self._persistent_path(fingerprint)
         if path is None or not path.exists():
             return None
+        ttl = self.policy.ttl_s
+        if ttl is not None:
+            try:
+                expired = time.time() - path.stat().st_mtime > ttl
+            except OSError:
+                return None
+            if expired:
+                # Deleting is a mutation, so it takes the exclusive lock
+                # (re-checking the stamp under it — another process may
+                # have refreshed or already removed the entry).
+                with self._dir_lock.exclusive():
+                    try:
+                        if time.time() - path.stat().st_mtime > ttl:
+                            path.unlink(missing_ok=True)
+                            self.stats.disk_expirations += 1
+                    except OSError:
+                        pass
+                return None
         try:
-            return CacheEntry.from_dict(json.loads(path.read_text()))
-        except Exception:  # corrupt / stale file: treat as a miss
+            with self._dir_lock.shared():
+                entry = CacheEntry.from_dict(json.loads(path.read_text()))
+                try:
+                    # Refresh the access stamp so disk LRU tracks *use*,
+                    # not just insertion (the satellite fix: v1 never
+                    # stamped reads).  A concurrent eviction may have
+                    # removed the file — the decoded entry is still a hit.
+                    os.utime(path, None)
+                except OSError:
+                    pass
+            return entry
+        except Exception:  # corrupt / torn-read / unreadable: miss
             return None
 
     def _store_persistent(self, entry: CacheEntry) -> None:
         path = self._persistent_path(entry.fingerprint)
         if path is None:
             return
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry.to_dict()))
-        tmp.replace(path)
+        payload = json.dumps(entry.to_dict())
+        # Unique temp name: two processes publishing the same fingerprint
+        # must not truncate each other's in-flight temp file.
+        tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
+        with self._dir_lock.exclusive():
+            try:
+                tmp.write_text(payload)
+                tmp.replace(path)
+            finally:
+                tmp.unlink(missing_ok=True)
+            if self.policy.bounded:
+                self._enforce_policy_locked()
+
+    def _scan_entries(self) -> List[Tuple[Path, os.stat_result]]:
+        """(path, stat) for every entry file, oldest access stamp first."""
+        found: List[Tuple[Path, os.stat_result]] = []
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                found.append((path, path.stat()))
+            except OSError:  # raced with another process's eviction
+                continue
+        found.sort(key=lambda item: item[1].st_mtime)
+        return found
+
+    def _enforce_policy_locked(self) -> Dict[str, int]:
+        """Delete expired / excess entries.  Caller holds the exclusive lock."""
+        expired = evicted = 0
+        entries = self._scan_entries()
+        if self.policy.ttl_s is not None:
+            cutoff = time.time() - self.policy.ttl_s
+            keep = []
+            for path, stat in entries:
+                if stat.st_mtime < cutoff:
+                    path.unlink(missing_ok=True)
+                    expired += 1
+                else:
+                    keep.append((path, stat))
+            entries = keep
+        total_bytes = sum(stat.st_size for _, stat in entries)
+        index = 0
+        while index < len(entries):
+            over_entries = (self.policy.max_entries is not None
+                            and len(entries) - index > self.policy.max_entries)
+            over_bytes = (self.policy.max_bytes is not None
+                          and total_bytes > self.policy.max_bytes)
+            if not over_entries and not over_bytes:
+                break
+            path, stat = entries[index]
+            path.unlink(missing_ok=True)
+            total_bytes -= stat.st_size
+            evicted += 1
+            index += 1
+        self.stats.disk_expirations += expired
+        self.stats.disk_evictions += evicted
+        return {"expired": expired, "evicted": evicted}
 
     def __repr__(self) -> str:  # pragma: no cover - convenience only
         tier = f", dir={str(self.cache_dir)!r}" if self.cache_dir else ""

@@ -7,6 +7,17 @@ Examples::
     python -m repro.service --list-optimisers
     python -m repro.service vit -o tensat --config round_limit=3
 
+    # serving-layer hardening knobs
+    python -m repro.service bert --backend async --workers 4
+    python -m repro.service bert --remote-worker host1:9100 --remote-worker host2:9100
+    python -m repro.service squeezenet --cache-dir /var/cache/repro \\
+        --cache-max-entries 512 --cache-ttl 86400
+
+    # run this box as a remote search worker / maintain a cache directory
+    python -m repro.service --worker-server 0.0.0.0:9100 --workers 8
+    python -m repro.service --prune-cache --cache-dir /var/cache/repro \\
+        --cache-max-bytes 100000000
+
 Repeated rounds (``--repeat``) re-submit the same batch and therefore hit the
 warm fingerprint cache — the printed per-job times show the cold/warm gap.
 """
@@ -18,12 +29,14 @@ import ast
 from typing import Any, Dict, List, Optional, Sequence
 
 from .api import OptimisationService
+from .cache import EvictionPolicy, FingerprintCache
 from .registry import default_config, list_optimisers, optimiser_spec
 
 __all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``python -m repro.service`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
         description="Optimise model-zoo graphs through the serving layer.")
@@ -36,12 +49,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="optimiser config override (repeatable)")
     parser.add_argument("--workers", type=int, default=4,
                         help="worker pool size (default: 4)")
+    parser.add_argument("--backend", choices=["thread", "process", "async"],
+                        default=None,
+                        help="worker flavour (default: thread; async drives "
+                             "process workers and any --remote-worker boxes "
+                             "from one event loop)")
     parser.add_argument("--processes", action="store_true",
-                        help="use a process pool instead of threads")
+                        help="shorthand for --backend process")
+    parser.add_argument("--remote-worker", action="append", default=[],
+                        metavar="HOST:PORT", dest="remote_workers",
+                        help="JSON-RPC worker endpoint (repeatable; implies "
+                             "--backend async)")
     parser.add_argument("--max-pending", type=int, default=256,
                         help="bounded admission queue size (default: 256)")
     parser.add_argument("--cache-dir", default=None,
-                        help="directory for the persistent cache tier")
+                        help="directory for the persistent cache tier "
+                             "(safe to share between service processes)")
+    parser.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="evict LRU disk entries beyond N")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="BYTES",
+                        help="evict LRU disk entries beyond BYTES total")
+    parser.add_argument("--cache-ttl", type=float, default=None,
+                        metavar="SECONDS",
+                        help="expire disk entries not accessed for SECONDS")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the fingerprint cache entirely")
     parser.add_argument("--repeat", type=int, default=1,
@@ -53,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the optimiser registry and exit")
     parser.add_argument("--list-models", action="store_true",
                         help="print the model zoo and exit")
+    parser.add_argument("--worker-server", default=None, metavar="[HOST:]PORT",
+                        help="serve this box's optimiser registry to remote "
+                             "services over JSON-RPC (foreground)")
+    parser.add_argument("--prune-cache", action="store_true",
+                        help="apply the eviction policy to --cache-dir and "
+                             "exit (use with --cache-max-*/--cache-ttl)")
     return parser
 
 
@@ -69,6 +107,15 @@ def _parse_config(pairs: Sequence[str]) -> Dict[str, Any]:
     return config
 
 
+def _eviction_policy(args: argparse.Namespace) -> Optional[EvictionPolicy]:
+    if (args.cache_max_entries is None and args.cache_max_bytes is None
+            and args.cache_ttl is None):
+        return None
+    return EvictionPolicy(max_entries=args.cache_max_entries,
+                          max_bytes=args.cache_max_bytes,
+                          ttl_s=args.cache_ttl)
+
+
 def _print_optimisers() -> None:
     for name in list_optimisers():
         spec = optimiser_spec(name)
@@ -82,7 +129,43 @@ def _print_models() -> None:
         print(f"{name:14s} [{info.family}] {info.description}")
 
 
+def _run_worker_server(endpoint: str, num_workers: int) -> int:
+    from .remote import WorkerServer, parse_endpoint
+    host, port = parse_endpoint(endpoint if ":" in endpoint
+                                else f"0.0.0.0:{endpoint}")
+    server = WorkerServer(host=host, port=port, num_workers=num_workers)
+    print(f"worker server listening on {server.endpoint} "
+          f"({num_workers} workers); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _run_prune(args: argparse.Namespace) -> int:
+    if args.cache_dir is None:
+        raise SystemExit("--prune-cache requires --cache-dir")
+    policy = _eviction_policy(args)
+    if policy is None:
+        raise SystemExit("--prune-cache needs at least one bound "
+                         "(--cache-max-entries / --cache-max-bytes / "
+                         "--cache-ttl)")
+    cache = FingerprintCache(cache_dir=args.cache_dir, policy=policy)
+    before = cache.persistent_usage()
+    removed = cache.prune_persistent()
+    after = cache.persistent_usage()
+    print(f"pruned {args.cache_dir}: {removed['expired']} expired, "
+          f"{removed['evicted']} evicted; "
+          f"{before['entries']} -> {after['entries']} entries, "
+          f"{before['bytes']} -> {after['bytes']} bytes")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.list_optimisers:
         _print_optimisers()
@@ -90,6 +173,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_models:
         _print_models()
         return 0
+    if args.worker_server is not None:
+        return _run_worker_server(args.worker_server, args.workers)
+    if args.prune_cache:
+        return _run_prune(args)
 
     from ..experiments.common import small_model_kwargs
     from ..models.registry import build_model
@@ -105,16 +192,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}")
 
+    backend = args.backend or ("process" if args.processes else None)
+    if args.remote_workers and backend not in (None, "async"):
+        raise SystemExit(
+            f"error: --remote-worker requires --backend async "
+            f"(got {backend})")
     with OptimisationService(num_workers=args.workers,
                              cache_dir=args.cache_dir,
+                             cache_policy=_eviction_policy(args),
                              max_pending=args.max_pending,
-                             use_processes=args.processes) as service:
+                             backend=backend,
+                             remote_endpoints=args.remote_workers) as service:
         for round_no in range(1, max(1, args.repeat) + 1):
             job_ids = service.submit_batch(graphs, optimiser=args.optimiser,
                                            config=config,
                                            use_cache=not args.no_cache)
             for result in service.gather(job_ids):
-                origin = "cache-hit" if result.cache_hit else "searched"
+                origin = ("cache-hit" if result.cache_hit
+                          else "coalesced" if result.coalesced else "searched")
                 search = result.search
                 print(f"[round {round_no}] {search.optimiser:8s} "
                       f"{search.model:14s} "
@@ -124,9 +219,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       f"{search.optimisation_time_s:8.4f}s  {origin}")
         stats = service.stats()
     cache = stats["cache"]
+    print(f"backend: {stats['backend']} x{stats['workers']}")
     print(f"jobs: {stats['jobs']}")
     print(f"cache: {cache['memory_hits']} memory + {cache['persistent_hits']} "
           f"persistent hits, {cache['misses']} misses "
           f"({100.0 * cache['hit_rate']:.1f}% hit rate), "
           f"{stats['cache_entries']} entries resident")
+    if cache["disk_evictions"] or cache["disk_expirations"]:
+        print(f"cache disk policy: {cache['disk_evictions']} evicted, "
+              f"{cache['disk_expirations']} expired")
+    print(f"dedup: {stats['dedup']['coalesced']} coalesced submissions")
+    if "pool" in stats:
+        pool = stats["pool"]
+        print(f"pool: {pool['dispatched_local']} local / "
+              f"{pool['dispatched_remote']} remote dispatches, "
+              f"{pool['remote_fallbacks']} fallbacks")
     return 0

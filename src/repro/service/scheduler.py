@@ -1,17 +1,27 @@
 """Bounded job scheduler with submit / poll / result semantics.
 
-Wraps a :mod:`concurrent.futures` worker pool with the bookkeeping a serving
-layer needs: integer job ids, per-job state and timing records, a bounded
-admission queue (``QueueFullError`` instead of unbounded memory growth), and
-completion callbacks used by the service to populate the fingerprint cache.
+Wraps a :mod:`concurrent.futures`-style worker pool with the bookkeeping a
+serving layer needs: integer job ids, per-job state and timing records, a
+bounded admission queue (``QueueFullError`` instead of unbounded memory
+growth), and completion callbacks used by the service to populate the
+fingerprint cache.
 
-Two pool flavours:
+Three pool flavours, selected by ``backend``:
 
-* threads (default) — cheap dispatch, shared in-process cache; fine for the
-  I/O-light search jobs and for cache-dominated traffic.
-* processes (``use_processes=True``) — true parallelism for the pure-Python
-  searches, at the cost of pickling graphs across the boundary.  Submitted
-  callables must then be module-level functions.
+* ``"thread"`` (default) — cheap dispatch, shared in-process cache; fine for
+  the I/O-light search jobs and for cache-dominated traffic.
+* ``"process"`` — true parallelism for the pure-Python searches, at the cost
+  of pickling graphs across the boundary.  Submitted callables must then be
+  module-level functions.
+* ``"async"`` — an :class:`~repro.service.async_pool.AsyncWorkerPool`: an
+  asyncio event loop (in a dedicated thread) drives a local process pool
+  and, when ``remote_endpoints`` are given, off-box workers over the
+  JSON-RPC protocol in :mod:`repro.service.remote`.
+
+The scheduler also supports *attached* (follower) jobs — :meth:`attach`
+registers a new job id that shares an existing job's future, which is how
+the service coalesces concurrent identical requests onto one in-flight
+search.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ class JobState(str, Enum):
 
     @property
     def is_terminal(self) -> bool:
+        """Whether the state is final (no further transitions)."""
         return self in (JobState.SUCCEEDED, JobState.FAILED,
                         JobState.CANCELLED)
 
@@ -67,49 +78,83 @@ class JobRecord:
 
     @property
     def queue_time_s(self) -> Optional[float]:
-        # started_at is unknown for process-pool jobs (the transition happens
-        # in another process); report None rather than misattributing the
-        # whole queue+run duration to queueing.
+        """Seconds between submission and pickup, if traceable.
+
+        ``started_at`` is unknown for process/async-backend jobs (the
+        transition happens outside the submitting process); report None
+        rather than misattributing the whole queue+run duration to
+        queueing.
+        """
         if self.started_at is None:
             return None
         return self.started_at - self.submitted_at
 
     @property
     def run_time_s(self) -> Optional[float]:
+        """Worker-side execution seconds, if traceable (see above)."""
         if self.started_at is None or self.finished_at is None:
             return None
         return self.finished_at - self.started_at
 
 
+#: Recognised ``backend`` names and whether the scheduler can trace the
+#: pending → running transition in-process (only thread pools can: the other
+#: backends run the job body outside the submitting process / thread state).
+_BACKENDS = ("thread", "process", "async")
+
+
 class JobScheduler:
     """Submit/poll/result façade over a bounded worker pool.
 
-    Parameters
-    ----------
-    num_workers:
-        Size of the worker pool.
-    max_pending:
-        Maximum simultaneously *open* (pending or running) jobs; further
-        submissions raise :class:`QueueFullError` so overload surfaces at
-        admission instead of as unbounded queue growth.
-    max_history:
-        How many *finished* jobs to retain (records + results).  Beyond it
-        the oldest terminal jobs are purged so a long-lived scheduler does
-        not pin every result graph it ever produced; polling a purged id
-        raises :class:`UnknownJobError`.
-    use_processes:
-        Run jobs in a process pool instead of threads (see module docstring).
+    Args:
+        num_workers: Size of the worker pool.
+        max_pending: Maximum simultaneously *open* (pending or running)
+            jobs; further submissions raise :class:`QueueFullError` so
+            overload surfaces at admission instead of as unbounded queue
+            growth.  Attached (follower) jobs from :meth:`attach` do not
+            consume slots — they add no work.
+        max_history: How many *finished* jobs to retain (records +
+            results).  Beyond it the oldest terminal jobs are purged so a
+            long-lived scheduler does not pin every result graph it ever
+            produced; polling a purged id raises :class:`UnknownJobError`.
+        backend: ``"thread"`` / ``"process"`` / ``"async"`` (see the module
+            docstring).
+        use_processes: Back-compat alias for ``backend="process"``.
+        remote_endpoints: ``"host:port"`` strings of off-box workers for
+            the async backend (ignored otherwise).
+
+    Raises:
+        ValueError: If ``backend`` is not one of the recognised names.
     """
 
     def __init__(self, num_workers: int = 4, max_pending: int = 256,
-                 max_history: int = 1024, use_processes: bool = False):
+                 max_history: int = 1024, use_processes: bool = False,
+                 backend: Optional[str] = None,
+                 remote_endpoints: Optional[List[str]] = None):
         self.num_workers = max(1, int(num_workers))
         self.max_pending = max(1, int(max_pending))
         self.max_history = max(1, int(max_history))
-        self.use_processes = bool(use_processes)
-        if self.use_processes:
+        if backend is None:
+            backend = "process" if use_processes else "thread"
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        self.backend = backend
+        self.use_processes = backend == "process"
+        self.remote_endpoints = list(remote_endpoints or [])
+        if self.remote_endpoints and backend != "async":
+            # Silently running everything locally would be worse than
+            # failing: the operator believes work is being distributed.
+            raise ValueError(
+                f"remote_endpoints require backend='async', got {backend!r}")
+        if backend == "process":
             self._executor: futures.Executor = futures.ProcessPoolExecutor(
                 max_workers=self.num_workers)
+        elif backend == "async":
+            from .async_pool import AsyncWorkerPool
+            self._executor = AsyncWorkerPool(
+                num_workers=self.num_workers,
+                remote_endpoints=self.remote_endpoints)
         else:
             self._executor = futures.ThreadPoolExecutor(
                 max_workers=self.num_workers, thread_name_prefix="repro-worker")
@@ -117,6 +162,8 @@ class JobScheduler:
         self._records: Dict[int, JobRecord] = {}
         self._futures: Dict[int, futures.Future] = {}
         self._on_success: Dict[int, Callable[[Any], None]] = {}
+        self._on_done: Dict[int, Callable[[futures.Future], None]] = {}
+        self._attached: set = set()
         self._terminal: "deque[int]" = deque()
         self._open_jobs = 0
         self._ids = itertools.count(1)
@@ -125,15 +172,32 @@ class JobScheduler:
     # -- submission ----------------------------------------------------
     def submit(self, fn: Callable[..., Any], *args: Any, label: str = "",
                on_success: Optional[Callable[[Any], None]] = None,
+               on_done: Optional[Callable[[futures.Future], None]] = None,
                **kwargs: Any) -> int:
         """Queue ``fn(*args, **kwargs)``; returns the job id.
 
-        ``on_success`` runs exactly once with the job's result after it
-        succeeds — in a pool/callback thread of the submitting process, or
-        in the caller's thread when :meth:`result` finalises the job first.
-        Either way it has completed before :meth:`result` returns, so e.g. a
-        cache populated by the callback is visible to whoever observed the
-        result.
+        Args:
+            fn: The job body.  Must be a module-level function for the
+                process and async backends (it crosses a pickle boundary).
+            *args: Positional arguments for ``fn``.
+            label: Human-readable tag kept on the :class:`JobRecord`.
+            on_success: Runs exactly once with the job's result after it
+                succeeds — in a pool/callback thread of the submitting
+                process, or in the caller's thread when :meth:`result`
+                finalises the job first.  Either way it has completed
+                before :meth:`result` returns, so e.g. a cache populated by
+                the callback is visible to whoever observed the result.
+            on_done: Runs exactly once with the job's future on *any*
+                terminal state (after ``on_success`` for successes) — used
+                by the service to retire in-flight dedup registrations.
+            **kwargs: Keyword arguments for ``fn``.
+
+        Returns:
+            The integer job id.
+
+        Raises:
+            QueueFullError: If ``max_pending`` jobs are already open.
+            RuntimeError: If the scheduler has been shut down.
         """
         with self._lock:
             if self._closed:
@@ -151,14 +215,14 @@ class JobScheduler:
             )
             self._open_jobs += 1
             try:
-                if self.use_processes:
-                    # The running-state transition happens in another process
-                    # and cannot update our records; jobs jump pending →
-                    # terminal.
-                    future = self._executor.submit(fn, *args, **kwargs)
-                else:
+                if self.backend == "thread":
                     future = self._executor.submit(
                         self._run_traced, job_id, fn, *args, **kwargs)
+                else:
+                    # The running-state transition happens in another process
+                    # (or on the event loop) and cannot update our records;
+                    # jobs jump pending → terminal.
+                    future = self._executor.submit(fn, *args, **kwargs)
             except BaseException:
                 self._open_jobs -= 1
                 del self._records[job_id]
@@ -166,6 +230,50 @@ class JobScheduler:
             self._futures[job_id] = future
             if on_success is not None:
                 self._on_success[job_id] = on_success
+            if on_done is not None:
+                self._on_done[job_id] = on_done
+        future.add_done_callback(
+            lambda f, job_id=job_id: self._finalise(job_id, f))
+        return job_id
+
+    def attach(self, primary_job_id: int, label: str = "") -> int:
+        """Register a *follower* job sharing ``primary_job_id``'s future.
+
+        The follower has its own id and record but no work of its own: it
+        becomes terminal when (and however) the primary does, and
+        :meth:`result` on it returns — or re-raises — the primary's
+        outcome.  Followers do not consume ``max_pending`` slots.  This is
+        the mechanism behind admission-time dedup of identical in-flight
+        requests.
+
+        Args:
+            primary_job_id: An open (or finished-but-retained) job id.
+            label: Human-readable tag for the follower's record.
+
+        Returns:
+            The follower's job id.
+
+        Raises:
+            UnknownJobError: If the primary id was never issued or its
+                record has been retired.
+            RuntimeError: If the scheduler has been shut down.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            future = self._futures.get(primary_job_id)
+            if future is None:
+                raise UnknownJobError(primary_job_id)
+            primary = self._records[primary_job_id]
+            job_id = next(self._ids)
+            self._records[job_id] = JobRecord(
+                job_id=job_id,
+                label=label or f"{primary.label} (coalesced)",
+                state=JobState.PENDING,
+                submitted_at=time.monotonic(),
+            )
+            self._futures[job_id] = future
+            self._attached.add(job_id)
         future.add_done_callback(
             lambda f, job_id=job_id: self._finalise(job_id, f))
         return job_id
@@ -231,16 +339,26 @@ class JobScheduler:
             else:
                 record.state = JobState.SUCCEEDED
             state = record.state
-            self._open_jobs -= 1
+            if job_id in self._attached:
+                self._attached.discard(job_id)  # followers hold no slot
+            else:
+                self._open_jobs -= 1
             # Retire the oldest finished jobs so a long-lived scheduler does
             # not pin every result it ever produced.
             self._retire_locked(job_id)
             on_success = self._on_success.pop(job_id, None)
+            on_done = self._on_done.pop(job_id, None)
         if on_success is not None and state is JobState.SUCCEEDED:
             try:
                 on_success(future.result())
             except Exception:
                 # A cache-population failure must not poison the job result.
+                pass
+        if on_done is not None:
+            try:
+                on_done(future)
+            except Exception:
+                # Dedup bookkeeping failures must not poison the job result.
                 pass
 
     # -- polling -------------------------------------------------------
@@ -273,12 +391,31 @@ class JobScheduler:
                 self._finalise(job_id, future)
 
     def cancel(self, job_id: int) -> bool:
-        """Try to cancel a still-pending job; returns whether it worked."""
+        """Try to cancel a still-pending job; returns whether it worked.
+
+        Follower jobs (:meth:`attach`) are never cancelled through this —
+        their future is shared with the primary (and its other followers),
+        so cancelling would revoke work other waiters still want.
+
+        Raises:
+            UnknownJobError: If the id was never issued or was retired.
+        """
         with self._lock:
             future = self._futures.get(job_id)
-        if future is None:
-            raise UnknownJobError(job_id)
+            if future is None:
+                raise UnknownJobError(job_id)
+            if job_id in self._attached:
+                return False
         return future.cancel()
+
+    def pool_stats(self) -> Optional[Dict[str, int]]:
+        """Backend-specific dispatch counters, or ``None``.
+
+        The async backend reports local/remote dispatch and fallback
+        counts; the thread and process pools have nothing to add.
+        """
+        stats = getattr(self._executor, "stats", None)
+        return dict(stats) if isinstance(stats, dict) else None
 
     def counts(self) -> Dict[str, int]:
         """``{state: count}`` over every job this scheduler has seen."""
@@ -308,6 +445,12 @@ class JobScheduler:
 
     # -- lifecycle -----------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
+        """Close the scheduler and its worker pool.
+
+        Args:
+            wait: Block until in-flight jobs finish; results of finished
+                jobs stay retrievable either way.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -321,6 +464,5 @@ class JobScheduler:
         self.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - convenience only
-        kind = "processes" if self.use_processes else "threads"
-        return (f"JobScheduler({self.num_workers} {kind}, "
+        return (f"JobScheduler({self.num_workers} {self.backend} workers, "
                 f"max_pending={self.max_pending}, jobs={self.counts()})")

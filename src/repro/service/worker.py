@@ -33,15 +33,33 @@ class JobRequest:
 
     @property
     def label(self) -> str:
+        """Human-readable job tag: ``optimiser:model``."""
         return f"{self.optimiser}:{self.model_name or self.graph.name}"
 
     def fingerprint(self) -> str:
+        """The request's canonical cache key (see
+        :func:`~repro.service.cache.request_fingerprint`)."""
         return request_fingerprint(self.graph, self.optimiser, self.config)
 
 
 @dataclass(frozen=True)
 class ServiceResult:
-    """What the service hands back for one job."""
+    """What the service hands back for one job.
+
+    Attributes:
+        search: The underlying optimiser outcome.
+        cache_hit: The result was served from the fingerprint cache
+            (no search ran for this submission).
+        fingerprint: The request fingerprint the job was keyed under.
+        job_id: Scheduler job id (filled in by
+            :meth:`~repro.service.api.OptimisationService.result`).
+        queue_time_s: Time spent queued before a worker picked the job up
+            (0 when untraceable — process/async backends, cache hits).
+        run_time_s: Worker-side execution time (0 when untraceable).
+        coalesced: This submission was deduplicated onto another in-flight
+            identical request; ``search`` is that primary job's outcome
+            (relabelled with this caller's model name).
+    """
 
     search: SearchResult
     cache_hit: bool
@@ -49,6 +67,7 @@ class ServiceResult:
     job_id: int = -1
     queue_time_s: float = 0.0
     run_time_s: float = 0.0
+    coalesced: bool = False
 
     @property
     def graph(self) -> Graph:
@@ -57,10 +76,14 @@ class ServiceResult:
 
     @property
     def speedup(self) -> float:
+        """End-to-end speedup of the optimised graph (initial / final)."""
         return self.search.speedup
 
     def summary(self) -> str:
-        origin = "cache" if self.cache_hit else "search"
+        """One-line description including the job's origin
+        (search / cache / coalesced)."""
+        origin = "cache" if self.cache_hit else (
+            "coalesced" if self.coalesced else "search")
         return f"[job {self.job_id} via {origin}] {self.search.summary()}"
 
 

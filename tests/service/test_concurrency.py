@@ -1,0 +1,370 @@
+"""Concurrency hardening tests: shared cache directories and in-flight dedup.
+
+The acceptance bar for the distributed-service work:
+
+* two OS processes hammering one cache directory observe **zero lost or
+  torn entries** (atomic publishes + advisory locking);
+* N concurrent identical submissions execute the underlying search
+  **exactly once** (admission-time dedup), with the result fanned out to
+  every waiter.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.search.result import SearchResult
+from repro.service import (CacheEntry, EvictionPolicy, FingerprintCache,
+                           OptimisationService, register_optimiser)
+from repro.service.cache import ENTRY_VERSION
+
+# ---------------------------------------------------------------------------
+# helpers shared with the worker subprocesses (must be module-level /
+# picklable for the spawn start method)
+
+#: Keys both hammer processes write and read — fully overlapping on purpose.
+SHARED_KEYS = [f"sharedkey{i:02d}" for i in range(12)]
+
+
+def _tiny_graph(tag: str = "tiny"):
+    builder = GraphBuilder(tag)
+    x = builder.input((2, 4), name="x")
+    return builder.build([builder.relu(x)])
+
+
+def _entry(fingerprint: str, graph, model: str) -> CacheEntry:
+    result = SearchResult(
+        optimiser="taso", model=model,
+        initial_graph=graph, final_graph=graph,
+        initial_latency_ms=1.0, final_latency_ms=0.5,
+        initial_cost_ms=1.0, final_cost_ms=0.5,
+        optimisation_time_s=0.01)
+    return CacheEntry.from_result(fingerprint, result)
+
+
+def _hammer_cache(cache_dir: str, worker_id: int, rounds: int) -> None:
+    """Subprocess body: interleave puts and gets over the shared key space.
+
+    Raises (→ nonzero exit code) on any lost update: once a key has been
+    written, every subsequent read must return a valid entry.
+    """
+    graph = _tiny_graph(f"worker{worker_id}")
+    cache = FingerprintCache(capacity=4, cache_dir=cache_dir)
+    for round_no in range(rounds):
+        for key in SHARED_KEYS:
+            cache.put(_entry(key, graph, model=f"w{worker_id}r{round_no}"))
+        # Fresh cache object per round: defeat the memory tier so every
+        # read exercises the shared persistent tier.
+        reader = FingerprintCache(capacity=4, cache_dir=cache_dir)
+        for key in SHARED_KEYS:
+            entry = reader.get(key)
+            if entry is None:
+                raise AssertionError(
+                    f"worker {worker_id} lost entry {key} in round {round_no}")
+            if entry.fingerprint != key:
+                raise AssertionError(
+                    f"worker {worker_id} read torn entry for {key}")
+
+
+def _hammer_bounded(cache_dir: str, worker_id: int, rounds: int) -> None:
+    """Subprocess body: concurrent writes under an eviction policy."""
+    graph = _tiny_graph(f"bounded{worker_id}")
+    cache = FingerprintCache(
+        capacity=4, cache_dir=cache_dir,
+        policy=EvictionPolicy(max_entries=6))
+    for round_no in range(rounds):
+        for key in SHARED_KEYS:
+            cache.put(_entry(key, graph, model=f"w{worker_id}r{round_no}"))
+
+
+def _spawn(target, *args) -> multiprocessing.Process:
+    # fork (not spawn): the child must run functions defined in this test
+    # module, which is not importable by name under pytest's rootdir mode.
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=target, args=args)
+    proc.start()
+    return proc
+
+
+# ---------------------------------------------------------------------------
+class TestSharedCacheDirectory:
+    def test_two_processes_no_lost_or_torn_entries(self, tmp_path):
+        """The headline stress test: two processes, one directory."""
+        procs = [_spawn(_hammer_cache, str(tmp_path), worker_id, 5)
+                 for worker_id in (1, 2)]
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0, \
+                f"hammer process failed (exit {proc.exitcode})"
+        # Every shared key survived, every file is a complete document.
+        files = sorted(tmp_path.glob("*.json"))
+        assert {p.stem for p in files} == set(SHARED_KEYS)
+        for path in files:
+            data = json.loads(path.read_text())  # raises on a torn write
+            assert data["entry_version"] == ENTRY_VERSION
+            CacheEntry.from_dict(data)
+        # Atomic publishes leave no temp litter behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_concurrent_eviction_keeps_directory_bounded(self, tmp_path):
+        procs = [_spawn(_hammer_bounded, str(tmp_path), worker_id, 4)
+                 for worker_id in (1, 2)]
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert 0 < len(files) <= 6
+        for path in files:  # survivors are intact documents
+            CacheEntry.from_dict(json.loads(path.read_text()))
+
+    def test_lock_file_is_not_mistaken_for_an_entry(self, tmp_path):
+        cache = FingerprintCache(cache_dir=tmp_path,
+                                 policy=EvictionPolicy(max_entries=1))
+        cache.put(_entry("entryone", _tiny_graph(), "m"))
+        assert (tmp_path / ".lock").exists()
+        assert cache.persistent_usage()["entries"] == 1
+
+
+# ---------------------------------------------------------------------------
+class TestEvictionPolicy:
+    def test_lru_eviction_prefers_unaccessed_entries(self, tmp_path):
+        """Reads refresh the access stamp — the satellite fix."""
+        graph = _tiny_graph()
+        cache = FingerprintCache(capacity=1, cache_dir=tmp_path,
+                                 policy=EvictionPolicy(max_entries=2))
+        cache.put(_entry("older", graph, "a"))
+        cache.put(_entry("newer", graph, "b"))
+        # Backdate both, then *access* only the older one.
+        past = time.time() - 3600
+        for name in ("older", "newer"):
+            os.utime(tmp_path / f"{name}.json", (past, past))
+        fresh = FingerprintCache(capacity=1, cache_dir=tmp_path,
+                                 policy=EvictionPolicy(max_entries=2))
+        assert fresh.get("older") is not None  # refreshes the stamp
+        cache.put(_entry("third", graph, "c"))  # forces one eviction
+        survivors = {p.stem for p in tmp_path.glob("*.json")}
+        assert survivors == {"older", "third"}, \
+            "LRU should evict the never-accessed entry, not the accessed one"
+
+    def test_max_bytes_bound(self, tmp_path):
+        graph = _tiny_graph()
+        cache = FingerprintCache(cache_dir=tmp_path)
+        cache.put(_entry("sizer", graph, "m"))
+        entry_bytes = (tmp_path / "sizer.json").stat().st_size
+        bounded = FingerprintCache(
+            cache_dir=tmp_path,
+            policy=EvictionPolicy(max_bytes=int(entry_bytes * 2.5)))
+        for name in ("aa", "bb", "cc", "dd"):
+            bounded.put(_entry(name, graph, "m"))
+            time.sleep(0.01)  # distinct mtimes for deterministic LRU order
+        usage = bounded.persistent_usage()
+        assert usage["bytes"] <= int(entry_bytes * 2.5)
+        assert bounded.stats.disk_evictions >= 2
+
+    def test_ttl_expires_idle_entries(self, tmp_path):
+        graph = _tiny_graph()
+        cache = FingerprintCache(cache_dir=tmp_path,
+                                 policy=EvictionPolicy(ttl_s=10.0))
+        cache.put(_entry("stale", graph, "m"))
+        path = tmp_path / "stale.json"
+        past = time.time() - 60
+        os.utime(path, (past, past))
+        fresh = FingerprintCache(cache_dir=tmp_path,
+                                 policy=EvictionPolicy(ttl_s=10.0))
+        assert fresh.get("stale") is None
+        assert not path.exists()
+        assert fresh.stats.disk_expirations == 1
+
+    def test_prune_persistent_reports_work(self, tmp_path):
+        graph = _tiny_graph()
+        unbounded = FingerprintCache(cache_dir=tmp_path)
+        for i in range(5):
+            unbounded.put(_entry(f"prune{i}", graph, "m"))
+            time.sleep(0.01)
+        past = time.time() - 3600
+        os.utime(tmp_path / "prune0.json", (past, past))
+        cache = FingerprintCache(
+            cache_dir=tmp_path,
+            policy=EvictionPolicy(max_entries=2, ttl_s=600.0))
+        removed = cache.prune_persistent()
+        assert removed == {"expired": 1, "evicted": 2}
+        assert cache.persistent_usage()["entries"] == 2
+
+    def test_unknown_entry_version_is_a_miss(self, tmp_path):
+        graph = _tiny_graph()
+        cache = FingerprintCache(cache_dir=tmp_path)
+        cache.put(_entry("versioned", graph, "m"))
+        path = tmp_path / "versioned.json"
+        data = json.loads(path.read_text())
+        data["entry_version"] = ENTRY_VERSION + 99
+        path.write_text(json.dumps(data))
+        fresh = FingerprintCache(cache_dir=tmp_path)
+        assert fresh.get("versioned") is None
+
+    def test_version1_entries_remain_readable(self, tmp_path):
+        """Forward migration: pre-hardening caches stay warm."""
+        graph = _tiny_graph()
+        cache = FingerprintCache(cache_dir=tmp_path)
+        cache.put(_entry("legacy", graph, "m"))
+        path = tmp_path / "legacy.json"
+        data = json.loads(path.read_text())
+        data["entry_version"] = 1
+        del data["created_at"]
+        path.write_text(json.dumps(data))
+        fresh = FingerprintCache(cache_dir=tmp_path)
+        loaded = fresh.get("legacy")
+        assert loaded is not None
+        assert loaded.created_at == 0.0
+
+
+# ---------------------------------------------------------------------------
+#: Executions of the counting optimiser (index 0), guarded by its lock.
+_EXECUTIONS = [0]
+_EXECUTIONS_LOCK = threading.Lock()
+
+
+class _CountingOptimizer:
+    """Deliberately slow optimiser that counts how many times it ran."""
+
+    name = "counting-test"
+
+    def __init__(self, delay_s: float = 0.3):
+        self.delay_s = delay_s
+
+    def optimise(self, graph, model_name: str = "") -> SearchResult:
+        with _EXECUTIONS_LOCK:
+            _EXECUTIONS[0] += 1
+        time.sleep(self.delay_s)
+        return SearchResult(
+            optimiser=self.name, model=model_name or graph.name,
+            initial_graph=graph, final_graph=graph,
+            initial_latency_ms=1.0, final_latency_ms=0.5,
+            initial_cost_ms=1.0, final_cost_ms=0.5,
+            optimisation_time_s=self.delay_s)
+
+
+class _ExplodingOptimizer:
+    name = "exploding-test"
+
+    def __init__(self, delay_s: float = 0.2):
+        self.delay_s = delay_s
+
+    def optimise(self, graph, model_name: str = ""):
+        time.sleep(self.delay_s)
+        raise RuntimeError("search exploded for every waiter")
+
+
+@pytest.fixture()
+def counting_optimiser():
+    register_optimiser("counting-test", _CountingOptimizer,
+                       {"delay_s": 0.3}, "dedup test probe", replace=True)
+    with _EXECUTIONS_LOCK:
+        _EXECUTIONS[0] = 0
+    return "counting-test"
+
+
+@pytest.fixture()
+def exploding_optimiser():
+    register_optimiser("exploding-test", _ExplodingOptimizer,
+                       {"delay_s": 0.2}, "dedup failure probe", replace=True)
+    return "exploding-test"
+
+
+class TestInflightDedup:
+    def test_n_concurrent_identical_submissions_run_once(
+            self, mlp_graph, counting_optimiser):
+        """The headline dedup test: 10 submissions, exactly 1 execution."""
+        n = 10
+        barrier = threading.Barrier(n)
+        job_ids: list = [None] * n
+        with OptimisationService(num_workers=4) as service:
+            def admit(slot: int) -> None:
+                barrier.wait()  # maximal admission contention
+                job_ids[slot] = service.submit(
+                    mlp_graph, counting_optimiser, model_name=f"caller{slot}")
+
+            threads = [threading.Thread(target=admit, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            results = service.gather(job_ids, timeout=30)
+            stats = service.stats()
+
+        with _EXECUTIONS_LOCK:
+            assert _EXECUTIONS[0] == 1, \
+                f"dedup failed: search ran {_EXECUTIONS[0]} times for {n} waiters"
+        assert sum(1 for r in results if not r.coalesced and not r.cache_hit) == 1
+        assert sum(1 for r in results if r.coalesced) == n - 1
+        assert stats["dedup"]["coalesced"] == n - 1
+        assert stats["dedup"]["inflight"] == 0  # table drained
+        # Every waiter got the shared outcome under its own label.
+        assert {r.search.model for r in results} == \
+            {f"caller{i}" for i in range(n)}
+        hashes = {r.graph.structural_hash() for r in results}
+        assert len(hashes) == 1
+
+    def test_next_submission_after_completion_hits_the_cache(
+            self, mlp_graph, counting_optimiser):
+        with OptimisationService(num_workers=2) as service:
+            first = service.optimise(mlp_graph, counting_optimiser)
+            warm = service.optimise(mlp_graph, counting_optimiser)
+        assert not first.cache_hit and not first.coalesced
+        assert warm.cache_hit and not warm.coalesced
+        with _EXECUTIONS_LOCK:
+            assert _EXECUTIONS[0] == 1
+
+    def test_failure_fans_out_to_every_waiter(self, mlp_graph,
+                                              exploding_optimiser):
+        with OptimisationService(num_workers=2) as service:
+            primary = service.submit(mlp_graph, exploding_optimiser)
+            follower = service.submit(mlp_graph, exploding_optimiser)
+            for job_id in (primary, follower):
+                with pytest.raises(RuntimeError, match="every waiter"):
+                    service.result(job_id, timeout=30)
+            stats = service.stats()
+        assert stats["dedup"]["coalesced"] == 1
+        assert stats["dedup"]["inflight"] == 0
+        assert stats["jobs"]["failed"] == 2
+
+    def test_failed_fingerprint_can_be_resubmitted(self, mlp_graph,
+                                                   exploding_optimiser):
+        """A failure clears the in-flight slot instead of poisoning it."""
+        with OptimisationService(num_workers=2) as service:
+            job_id = service.submit(mlp_graph, exploding_optimiser)
+            with pytest.raises(RuntimeError):
+                service.result(job_id, timeout=30)
+            retry = service.submit(mlp_graph, exploding_optimiser)
+            assert retry != job_id
+            with pytest.raises(RuntimeError):
+                service.result(retry, timeout=30)
+        assert service.stats()["dedup"]["coalesced"] == 0
+
+    def test_use_cache_false_opts_out_of_dedup(self, mlp_graph,
+                                               counting_optimiser):
+        with OptimisationService(num_workers=2) as service:
+            ids = [service.submit(mlp_graph, counting_optimiser,
+                                  use_cache=False) for _ in range(2)]
+            results = service.gather(ids, timeout=30)
+        assert all(not r.coalesced for r in results)
+        with _EXECUTIONS_LOCK:
+            assert _EXECUTIONS[0] == 2
+
+    def test_different_configs_do_not_coalesce(self, mlp_graph,
+                                               counting_optimiser):
+        with OptimisationService(num_workers=2) as service:
+            a = service.submit(mlp_graph, counting_optimiser,
+                               {"delay_s": 0.3})
+            b = service.submit(mlp_graph, counting_optimiser,
+                               {"delay_s": 0.31})
+            service.gather([a, b], timeout=30)
+        with _EXECUTIONS_LOCK:
+            assert _EXECUTIONS[0] == 2
