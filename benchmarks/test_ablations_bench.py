@@ -5,7 +5,6 @@
 * reward signal: end-to-end latency vs the TASO cost model.
 """
 
-import pytest
 
 from repro.cost import CostModel, E2ESimulator
 from repro.core import XRLflow, XRLflowConfig

@@ -1,7 +1,6 @@
 """Benchmarks regenerating the paper's Figures 4, 5, 6, 7 and 8."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import (run_figure4, run_figure5, run_figure6,
                                run_figure7, run_figure8)

@@ -1,6 +1,5 @@
 """Benchmarks regenerating the paper's Tables 1, 2 and 3."""
 
-import pytest
 
 from repro.experiments import run_table1, run_table2, run_table3
 

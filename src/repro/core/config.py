@@ -3,8 +3,8 @@ practical knobs for the simulated environment)."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass, asdict
+from typing import Dict, Tuple
 
 __all__ = ["XRLflowConfig", "PAPER_TABLE4"]
 

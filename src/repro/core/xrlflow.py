@@ -16,7 +16,6 @@ evaluation episodes, returning the best graph encountered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
@@ -67,19 +66,38 @@ class XRLflow:
 
     name = "xrlflow"
 
+    #: Optional ``f(iteration, best_latency_ms, best_graph_fp)`` streaming
+    #: hook; iterations count environment steps monotonically across every
+    #: training and evaluation episode, so a long RL search reports partial
+    #: best-so-far graphs throughout (see :mod:`repro.service.events`).
+    progress_callback = None
+
     def __init__(self, config: Optional[XRLflowConfig] = None,
                  ruleset: Optional[RuleSet] = None,
                  e2e: Optional[E2ESimulator] = None,
-                 cost_model: Optional[CostModel] = None):
+                 cost_model: Optional[CostModel] = None,
+                 progress_callback=None):
         self.config = config or XRLflowConfig()
         self.config.validate()
         self.ruleset = ruleset or default_ruleset()
         self.e2e = e2e or E2ESimulator(seed=self.config.seed)
         self.cost_model = cost_model or CostModel()
+        self.progress_callback = progress_callback
         self.agent: Optional[XRLflowAgent] = None
         self.history: Optional[TrainingHistory] = None
+        self._progress_steps = 0
 
     # ------------------------------------------------------------------
+    def _relay_progress(self, step: int, best_latency_ms: float,
+                        best_graph_fp: str) -> None:
+        """Renumber per-episode env steps into one monotonic iteration
+        counter before forwarding to :attr:`progress_callback`."""
+        callback = self.progress_callback
+        if callback is None:
+            return
+        self._progress_steps += 1
+        callback(self._progress_steps, best_latency_ms, best_graph_fp)
+
     def _build_env(self, graph: Graph) -> GraphRewriteEnv:
         cfg = self.config
         return GraphRewriteEnv(
@@ -89,6 +107,7 @@ class XRLflow:
             max_candidates=cfg.max_candidates,
             max_steps=cfg.max_steps,
             seed=cfg.seed,
+            progress_callback=self._relay_progress,
         )
 
     def _build_agent(self) -> XRLflowAgent:

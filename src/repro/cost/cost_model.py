@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..ir.graph import Graph, GraphDelta, NodeId
-from ..ir.ops import OpType
 from .device import DeviceConfig, SimulatedDevice, default_device
 from .op_cost import is_zero_cost, op_flops, op_memory_bytes
 

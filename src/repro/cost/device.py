@@ -18,8 +18,8 @@ same second-order effects the paper's evaluation hinges on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..ir.ops import OpType
 

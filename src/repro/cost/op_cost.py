@@ -9,11 +9,9 @@ write per output element.
 
 from __future__ import annotations
 
-import math
 from typing import Mapping, Sequence
 
-from ..ir.ops import (ELEMENTWISE_BINARY, ELEMENTWISE_UNARY, OP_REGISTRY,
-                      OpType)
+from ..ir.ops import ELEMENTWISE_BINARY, ELEMENTWISE_UNARY, OpType
 from ..ir.tensor import TensorSpec
 
 __all__ = ["op_flops", "op_memory_bytes", "is_zero_cost"]

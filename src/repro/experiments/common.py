@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core.config import XRLflowConfig
-from ..cost.e2e import E2ESimulator
 from ..ir.graph import Graph
 from ..models.registry import build_model
 

@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..core.config import XRLflowConfig
 from ..core.generalise import ShapeVariant, evaluate_generalisation
 from ..core.xrlflow import XRLflow
 from ..cost.e2e import E2ESimulator
-from ..models.registry import PAPER_EVAL_MODELS, TENSAT_MODELS, MODEL_REGISTRY, build_model
+from ..models.registry import PAPER_EVAL_MODELS, TENSAT_MODELS, build_model
 from ..search.result import SearchResult
 from ..search.tensat import TensatOptimizer
 from .common import (ExperimentReport, benchmark_config, build_small_model,

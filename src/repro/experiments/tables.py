@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..cost.cost_model import CostModel
 from ..cost.e2e import E2ESimulator
@@ -10,7 +10,7 @@ from ..models.registry import TABLE1_MODELS, PAPER_EVAL_MODELS, MODEL_REGISTRY, 
 from ..rules.rulesets import default_ruleset
 from ..search.greedy import TASOOptimizer
 from ..search.pet import PETOptimizer
-from .common import ExperimentReport, build_small_model, small_model_kwargs
+from .common import ExperimentReport, build_small_model
 
 __all__ = ["run_table1", "run_table2", "run_table3"]
 

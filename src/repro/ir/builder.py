@@ -7,11 +7,10 @@ network definitions.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from .graph import Graph, NodeId
 from .ops import OpType
-from .tensor import TensorShape
 
 __all__ = ["GraphBuilder"]
 

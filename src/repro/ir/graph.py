@@ -14,11 +14,19 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-import itertools
 import json
 from dataclasses import dataclass, field
-from typing import (Callable, Dict, Hashable, Iterable, Iterator, List,
-                    Mapping, Optional, Sequence, Set, Tuple)
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple)
 
 from .ops import OP_REGISTRY, OpType, infer_output_spec
 from .tensor import TensorSpec

@@ -8,7 +8,7 @@ how TASO's substitution engine reasons about computation graphs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Sequence, Tuple
 

@@ -9,7 +9,7 @@ larger values to approach the full published depth.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 from ..ir.builder import GraphBuilder
 from ..ir.graph import Graph, NodeId

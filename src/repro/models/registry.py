@@ -8,7 +8,7 @@ ResNet-18 is used only for the PET comparison (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..ir.graph import Graph
 from .convnets import (build_inception_v3, build_resnet18, build_resnext50,

@@ -10,7 +10,7 @@ passing larger values.
 from __future__ import annotations
 
 from ..ir.builder import GraphBuilder
-from ..ir.graph import Graph, NodeId
+from ..ir.graph import Graph
 
 __all__ = ["build_bert", "build_vit", "build_dalle", "build_transformer_transducer"]
 

@@ -6,7 +6,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from .tensor import Tensor, concat
+from .tensor import Tensor
 
 __all__ = ["Module", "Parameter", "Linear", "MLP"]
 

@@ -12,7 +12,7 @@ on the intermediate steps to keep the agent exploring).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -77,7 +77,9 @@ class GraphRewriteEnv:
                  max_candidates: int = 48,
                  max_steps: int = 50,
                  reward_fn: Optional[RewardFn] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 progress_callback: Optional[
+                     Callable[[int, float, str], None]] = None):
         self.initial_graph = graph
         self.ruleset = ruleset or default_ruleset()
         self.e2e = e2e or E2ESimulator(seed=seed)
@@ -86,6 +88,10 @@ class GraphRewriteEnv:
         self.max_candidates = int(max_candidates)
         self.max_steps = int(max_steps)
         self.reward_fn = reward_fn or default_reward
+        #: Optional ``f(step, best_latency_ms, best_graph_fp)`` invoked
+        #: after every environment step — the hook long RL searches use to
+        #: stream partial best-so-far graphs (see repro.service.events).
+        self.progress_callback = progress_callback
         self._rng = np.random.default_rng(seed)
 
         # Episode state
@@ -174,6 +180,9 @@ class GraphRewriteEnv:
         if latency < self.best_latency_ms:
             self.best_graph = self.current_graph
             self.best_latency_ms = latency
+        if self.progress_callback is not None:
+            self.progress_callback(self.step_count, self.best_latency_ms,
+                                   self.best_graph.structural_hash())
 
         info = {
             "latency_ms": latency,

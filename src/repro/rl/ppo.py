@@ -18,7 +18,7 @@ The update is the PPO clip objective (Eq. 3–5): policy surrogate + value MSE
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -7,7 +7,6 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..ir.graph import Graph
 from .buffer import RolloutBuffer, Transition
 from .env import GraphRewriteEnv
 from .ppo import PPOUpdater, XRLflowAgent

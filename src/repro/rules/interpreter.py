@@ -21,7 +21,6 @@ import numpy as np
 
 from ..ir.graph import Graph, NodeId
 from ..ir.ops import OpType
-from ..ir.tensor import TensorSpec
 
 __all__ = ["GraphInterpreter", "execute_graph", "graphs_equivalent"]
 

@@ -20,7 +20,7 @@ evaluation depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..cost.cost_model import CostModel
 from ..ir.graph import Graph
@@ -61,8 +61,16 @@ class GraphSpace:
         self.per_round_cap = int(per_round_cap)
 
     # ------------------------------------------------------------------
-    def explore(self, graph: Graph) -> Tuple[List[Tuple[Graph, List[str]]], SaturationStats]:
+    def explore(self, graph: Graph,
+                on_round: Optional[Callable[
+                    [int, List[Tuple[Graph, List[str]]]], None]] = None,
+                ) -> Tuple[List[Tuple[Graph, List[str]]], SaturationStats]:
         """Grow the space from ``graph``.
+
+        ``on_round(round_number, population)`` — when given — is invoked
+        after every completed saturation round with the 1-based round
+        number and the population grown so far; the Tensat optimiser uses
+        it to stream per-round progress.
 
         Returns the population as ``(graph, applied-rule-names)`` pairs (the
         root graph is always first) plus run statistics.
@@ -106,6 +114,8 @@ class GraphSpace:
                         break
                 if stats.node_budget_hit or additions >= self.per_round_cap:
                     break
+            if on_round is not None:
+                on_round(round_index + 1, population)
             if not new_frontier:
                 stats.saturated = not stats.node_budget_hit
                 break

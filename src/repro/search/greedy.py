@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..cost.cost_model import CostModel
 from ..cost.e2e import E2ESimulator
@@ -26,6 +26,12 @@ from ..rules.rulesets import default_ruleset
 from .result import SearchResult, timed
 
 __all__ = ["TASOOptimizer", "GreedyOptimizer"]
+
+#: Signature of a search progress callback:
+#: ``f(iteration, best_cost, best_graph_fp)`` — invoked once per search
+#: iteration with the best objective value so far and the structural hash
+#: of the graph it belongs to.
+ProgressCallback = Callable[[int, float, str], None]
 
 
 class TASOOptimizer:
@@ -56,9 +62,18 @@ class TASOOptimizer:
         re-costs every node from scratch; both paths visit the same
         candidates in the same order and produce bit-identical results — the
         flag exists as the equivalence/benchmark baseline.
+    progress_callback:
+        Optional ``f(iteration, best_cost, best_graph_fp)`` invoked once
+        per queue pop with the running best cost-model estimate and the
+        structural hash of the best graph; the serving layer uses it to
+        stream job progress (see :mod:`repro.service.events`).
     """
 
     name = "taso"
+
+    #: Per-iteration progress hook; also settable after construction
+    #: (the service worker assigns its event sink here).
+    progress_callback: Optional[ProgressCallback] = None
 
     def __init__(self, ruleset: Optional[RuleSet] = None,
                  cost_model: Optional[CostModel] = None,
@@ -66,7 +81,8 @@ class TASOOptimizer:
                  alpha: float = 1.05,
                  max_iterations: int = 100,
                  queue_capacity: int = 200,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 progress_callback: Optional[ProgressCallback] = None):
         self.ruleset = ruleset or default_ruleset()
         self.cost_model = cost_model or CostModel()
         self.e2e = e2e or E2ESimulator()
@@ -74,6 +90,7 @@ class TASOOptimizer:
         self.max_iterations = int(max_iterations)
         self.queue_capacity = int(queue_capacity)
         self.incremental = bool(incremental)
+        self.progress_callback = progress_callback
 
     # ------------------------------------------------------------------
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
@@ -110,9 +127,13 @@ class TASOOptimizer:
             iterations = 0
             candidates_evaluated = 0
 
+            progress = self.progress_callback
             while heap and iterations < self.max_iterations:
                 iterations += 1
                 cost, _, current, applied = heapq.heappop(heap)
+                if progress is not None:
+                    progress(iterations, float(best_cost),
+                             best_graph.structural_hash())
                 if cost > self.alpha * best_cost:
                     continue
                 if self.incremental:

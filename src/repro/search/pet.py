@@ -24,12 +24,11 @@ from typing import List, Optional
 
 from ..cost.cost_model import CostModel
 from ..cost.e2e import E2ESimulator
-from ..ir.graph import Graph, NodeId
+from ..ir.graph import Graph
 from ..ir.ops import OpType
 from ..rules.base import Match, RewriteRule, RuleSet, replace_all_uses, eliminate_dead_nodes
 from ..rules.rulesets import default_ruleset
 from .greedy import TASOOptimizer
-from .result import SearchResult
 
 __all__ = ["ConvToWinogradGemm", "PETOptimizer", "pet_ruleset"]
 
@@ -115,7 +114,8 @@ class PETOptimizer(TASOOptimizer):
         End-to-end simulator for *reporting* true latency only.
     **kwargs:
         Forwarded to :class:`TASOOptimizer` (``alpha``,
-        ``max_iterations``, ``queue_capacity``, ``incremental``).
+        ``max_iterations``, ``queue_capacity``, ``incremental``,
+        ``progress_callback``).
     """
 
     name = "pet"

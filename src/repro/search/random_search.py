@@ -8,7 +8,7 @@ versus from merely being allowed to take non-greedy steps.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -40,21 +40,32 @@ class RandomSearchOptimizer:
         Rewrite steps per walk (walks stop early when no rule applies).
     seed:
         RNG seed; fixed seed → deterministic walks.
+    progress_callback:
+        Optional ``f(iteration, best_cost, best_graph_fp)`` invoked once
+        per finished walk with the best simulated end-to-end latency so
+        far; the serving layer uses it to stream job progress.
     """
 
     name = "random"
+
+    #: Per-walk progress hook; also settable after construction
+    #: (the service worker assigns its event sink here).
+    progress_callback: Optional[Callable[[int, float, str], None]] = None
 
     def __init__(self, ruleset: Optional[RuleSet] = None,
                  e2e: Optional[E2ESimulator] = None,
                  cost_model: Optional[CostModel] = None,
                  num_walks: int = 5,
                  horizon: int = 30,
-                 seed: int = 0):
+                 seed: int = 0,
+                 progress_callback: Optional[
+                     Callable[[int, float, str], None]] = None):
         self.ruleset = ruleset or default_ruleset()
         self.e2e = e2e or E2ESimulator()
         self.cost_model = cost_model or CostModel()
         self.num_walks = int(num_walks)
         self.horizon = int(horizon)
+        self.progress_callback = progress_callback
         self._rng = np.random.default_rng(seed)
 
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
@@ -78,7 +89,8 @@ class RandomSearchOptimizer:
             initial_latency = self.e2e.latency_ms(graph)
             best_graph, best_latency, best_rules = graph, initial_latency, []
             steps_total = 0
-            for _ in range(self.num_walks):
+            progress = self.progress_callback
+            for walk_index in range(self.num_walks):
                 current, applied = graph, []
                 for _ in range(self.horizon):
                     # Lazy candidates: only the randomly chosen one is ever
@@ -101,6 +113,9 @@ class RandomSearchOptimizer:
                 latency = self.e2e.latency_ms(current)
                 if latency < best_latency:
                     best_graph, best_latency, best_rules = current, latency, applied
+                if progress is not None:
+                    progress(walk_index + 1, float(best_latency),
+                             best_graph.structural_hash())
             return SearchResult(
                 optimiser=self.name,
                 model=model_name or graph.name,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..cost.cost_model import CostModel
 from ..cost.e2e import E2ESimulator
@@ -43,9 +43,17 @@ class TensatOptimizer:
         the paper's ``k``.
     per_round_cap:
         Maximum candidates admitted into the space per round.
+    progress_callback:
+        Optional ``f(iteration, best_cost, best_graph_fp)`` invoked once
+        per saturation round with the cheapest extraction candidate so
+        far; the serving layer uses it to stream job progress.
     """
 
     name = "tensat"
+
+    #: Per-round progress hook; also settable after construction
+    #: (the service worker assigns its event sink here).
+    progress_callback: Optional[Callable[[int, float, str], None]] = None
 
     def __init__(self, ruleset: Optional[RuleSet] = None,
                  cost_model: Optional[CostModel] = None,
@@ -53,14 +61,42 @@ class TensatOptimizer:
                  node_limit: int = 20000,
                  round_limit: int = 6,
                  multi_pattern_rounds: int = 1,
-                 per_round_cap: int = 150):
+                 per_round_cap: int = 150,
+                 progress_callback: Optional[
+                     Callable[[int, float, str], None]] = None):
         self.ruleset = ruleset or default_ruleset()
         self.cost_model = cost_model or CostModel()
         self.e2e = e2e or E2ESimulator()
+        self.progress_callback = progress_callback
         self.space = GraphSpace(self.ruleset, node_limit=node_limit,
                                 round_limit=round_limit,
                                 multi_pattern_rounds=multi_pattern_rounds,
                                 per_round_cap=per_round_cap)
+
+    def _round_reporter(self):
+        """Adapt :meth:`GraphSpace.explore`'s per-round hook to the
+        ``progress_callback`` signature.
+
+        Tracks the cheapest extraction candidate incrementally (only
+        population members added since the previous round are costed; the
+        estimates are cached per graph, so the final extraction pass does
+        not pay twice).
+        """
+        callback = self.progress_callback
+        if callback is None:
+            return None
+        state = {"seen": 0, "best_cost": float("inf"), "best_fp": ""}
+
+        def on_round(round_number, population):
+            for candidate, _ in population[state["seen"]:]:
+                cost = self.cost_model.estimate_cached(candidate)
+                if cost < state["best_cost"]:
+                    state["best_cost"] = cost
+                    state["best_fp"] = candidate.structural_hash()
+            state["seen"] = len(population)
+            callback(round_number, state["best_cost"], state["best_fp"])
+
+        return on_round
 
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
         """Saturate the rewrite space around ``graph``, then extract.
@@ -79,7 +115,8 @@ class TensatOptimizer:
             (rounds, population size, nodes explored) under ``stats``.
         """
         with timed() as elapsed:
-            population, stats = self.space.explore(graph)
+            population, stats = self.space.explore(
+                graph, on_round=self._round_reporter())
             best_graph, best_rules, best_cost = self.space.extract(
                 population, self.cost_model)
             result = SearchResult(

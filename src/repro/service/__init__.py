@@ -6,15 +6,22 @@ serving layer here:
 * :mod:`repro.service.registry` — name → optimiser factory with defaults
 * :mod:`repro.service.cache` — fingerprint cache (in-memory LRU + a locked,
   evicting, multi-process-safe JSON tier)
+* :mod:`repro.service.lease` — cross-process dedup leases over the cache
+  directory (flock-guarded acquire, heartbeats, stale takeover)
 * :mod:`repro.service.scheduler` — bounded submit/poll/result job scheduler
-  over thread / process / async worker backends
+  over thread / process / async worker backends, with per-job event
+  channels (:class:`JobHandle`)
+* :mod:`repro.service.events` — streaming progress events and their
+  in-memory / spool-file transports
 * :mod:`repro.service.async_pool` — asyncio event loop driving local process
   workers and remote JSON-RPC boxes
+* :mod:`repro.service.health` — per-endpoint health records and the
+  least-loaded / circuit-breaker routing the async pool dispatches by
 * :mod:`repro.service.remote` — the off-box worker protocol
   (:class:`WorkerServer` / :class:`RemoteWorkerClient`)
 * :mod:`repro.service.worker` — per-worker job execution
 * :mod:`repro.service.api` — the :class:`OptimisationService` batch façade
-  (admission-time caching + in-flight dedup)
+  (admission-time caching + in-flight and cross-process dedup)
 * :mod:`repro.service.cli` — ``python -m repro.service`` front end
 
 See ``docs/service.md`` for the operations guide.
@@ -24,12 +31,15 @@ from .api import OptimisationService
 from .async_pool import AsyncWorkerPool
 from .cache import (CacheEntry, CacheStats, EvictionPolicy, FingerprintCache,
                     request_fingerprint)
+from .events import EventChannel, ProgressEvent
+from .health import EndpointHealth, HealthRegistry
+from .lease import LeaseConfig, LeaseManager
 from .registry import (create_optimiser, default_config, list_optimisers,
                        optimiser_spec, register_optimiser, OptimiserSpec)
 from .remote import (RemoteUnavailableError, RemoteWorkerClient,
                      RemoteWorkerError, WorkerServer)
-from .scheduler import (JobRecord, JobScheduler, JobState, QueueFullError,
-                        UnknownJobError)
+from .scheduler import (JobHandle, JobRecord, JobScheduler, JobState,
+                        QueueFullError, UnknownJobError)
 from .worker import JobRequest, ServiceResult, execute_request
 
 __all__ = [
@@ -37,10 +47,14 @@ __all__ = [
     "AsyncWorkerPool",
     "CacheEntry", "CacheStats", "EvictionPolicy", "FingerprintCache",
     "request_fingerprint",
+    "EventChannel", "ProgressEvent",
+    "EndpointHealth", "HealthRegistry",
+    "LeaseConfig", "LeaseManager",
     "OptimiserSpec", "create_optimiser", "default_config", "list_optimisers",
     "optimiser_spec", "register_optimiser",
     "RemoteUnavailableError", "RemoteWorkerClient", "RemoteWorkerError",
     "WorkerServer",
-    "JobRecord", "JobScheduler", "JobState", "QueueFullError", "UnknownJobError",
+    "JobHandle", "JobRecord", "JobScheduler", "JobState", "QueueFullError",
+    "UnknownJobError",
     "JobRequest", "ServiceResult", "execute_request",
 ]

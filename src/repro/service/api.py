@@ -20,6 +20,17 @@ job (admission-time dedup — one search, every waiter gets the result).
 Only a genuinely novel request dispatches a search, whose result is written
 back to the cache on success.  ``use_cache=False`` opts a submission out of
 both the cache *and* dedup.
+
+When the cache has a persistent directory, dedup additionally extends
+**across processes** via fingerprint lease files (see
+:mod:`repro.service.lease`): the service only dispatches a search after
+acquiring the fingerprint's lease; losing the acquisition race to another
+process turns the submission into a *waiter* job that polls the shared
+cache tier for the winner's result — and takes the search over if the
+winner's lease goes stale (its process died).
+
+Jobs submitted with ``stream=True`` emit progress events — one per
+optimiser iteration — consumable via :meth:`OptimisationService.events`.
 """
 
 from __future__ import annotations
@@ -27,10 +38,13 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import replace
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (Any, Dict, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Union)
 
 from ..ir.graph import Graph
 from .cache import CacheEntry, EvictionPolicy, FingerprintCache
+from .events import ProgressEvent
+from .lease import LeaseConfig, LeaseManager, leases_supported, wait_for_result
 from .registry import optimiser_spec
 from .scheduler import JobScheduler, JobState, UnknownJobError
 from .worker import JobRequest, ServiceResult, cached_result, execute_request
@@ -65,6 +79,16 @@ class OptimisationService:
         remote_endpoints: ``"host:port"`` strings of
             :class:`~repro.service.remote.WorkerServer` boxes; implies the
             async backend unless one was named explicitly.
+        router: Remote routing policy for the async backend —
+            ``"health"`` (least-loaded live endpoint, circuit breaker +
+            probe readmission; the default) or ``"round_robin"`` (the
+            legacy baseline).
+        cross_process_dedup: Extend exactly-once to simultaneous
+            submissions from *other service processes* via lease files in
+            the cache directory.  Effective only with a persistent cache
+            tier on a platform with ``flock``; on by default.
+        lease_config: Lease timing knobs (heartbeat / staleness / poll
+            cadence); defaults suit real searches.
 
     Raises:
         ValueError: If ``backend`` is not a recognised name.
@@ -78,7 +102,10 @@ class OptimisationService:
                  max_pending: int = 256,
                  use_processes: bool = False,
                  backend: Optional[str] = None,
-                 remote_endpoints: Optional[Sequence[str]] = None):
+                 remote_endpoints: Optional[Sequence[str]] = None,
+                 router: str = "health",
+                 cross_process_dedup: bool = True,
+                 lease_config: Optional[LeaseConfig] = None):
         self.cache = cache if cache is not None else FingerprintCache(
             capacity=cache_capacity, cache_dir=cache_dir, policy=cache_policy)
         if backend is None and remote_endpoints:
@@ -88,7 +115,13 @@ class OptimisationService:
                                       use_processes=use_processes,
                                       backend=backend,
                                       remote_endpoints=list(remote_endpoints
-                                                            or []))
+                                                            or []),
+                                      router=router)
+        self._leases: Optional[LeaseManager] = None
+        if (cross_process_dedup and self.cache.cache_dir is not None
+                and leases_supported()):
+            self._leases = LeaseManager(self.cache.cache_dir,
+                                        config=lease_config)
         # Admission-time dedup: fingerprint → primary job id, plus the
         # original request of every follower so its result can be
         # relabelled at pickup.
@@ -103,7 +136,8 @@ class OptimisationService:
     # -- submission ----------------------------------------------------
     def submit(self, graph: Graph, optimiser: str = "taso",
                config: Optional[Mapping[str, Any]] = None,
-               model_name: str = "", use_cache: bool = True) -> int:
+               model_name: str = "", use_cache: bool = True,
+               stream: bool = False) -> int:
         """Queue one optimisation job; returns its job id immediately.
 
         Args:
@@ -116,6 +150,8 @@ class OptimisationService:
             use_cache: Consult the fingerprint cache and in-flight dedup
                 table at admission.  ``False`` forces a fresh search and
                 leaves the cache untouched.
+            stream: Emit per-iteration progress events, consumable via
+                :meth:`events` while the job runs.
 
         Returns:
             The job id (pass to :meth:`poll` / :meth:`result`).
@@ -128,15 +164,18 @@ class OptimisationService:
         request = JobRequest(graph=graph, optimiser=optimiser,
                              config=dict(config or {}),
                              model_name=model_name, use_cache=use_cache)
-        return self.submit_request(request)
+        return self.submit_request(request, stream=stream)
 
-    def submit_request(self, request: JobRequest) -> int:
+    def submit_request(self, request: JobRequest, stream: bool = False) -> int:
         """Admit one :class:`JobRequest`; returns its job id.
 
-        Admission order: cache lookup → in-flight dedup → fresh dispatch.
-        A cache hit completes inline; a fingerprint already being searched
-        attaches this submission to the in-flight job (no new work); only
-        a novel fingerprint reaches the worker pool.
+        Admission order: cache lookup → in-flight dedup → cross-process
+        lease → dispatch.  A cache hit completes inline; a fingerprint
+        already being searched in this process attaches this submission to
+        the in-flight job (no new work); a fingerprint being searched by
+        *another process* (lease held elsewhere) dispatches a waiter that
+        polls the shared cache tier instead of re-searching; only a
+        genuinely novel fingerprint runs a search.
 
         Raises:
             KeyError: For an unknown optimiser name.
@@ -156,7 +195,7 @@ class OptimisationService:
         fingerprint = request.fingerprint()
         if not request.use_cache:
             return self.scheduler.submit(execute_request, request, fingerprint,
-                                         label=request.label)
+                                         label=request.label, stream=stream)
         started = time.perf_counter()
         entry = self.cache.get(fingerprint)
         if entry is not None:
@@ -182,6 +221,24 @@ class OptimisationService:
                     self._followers[follower_id] = request
                     self._coalesced_total += 1
                     return follower_id
+            # Cross-process dedup: only the process holding the
+            # fingerprint's lease searches; everyone else waits on the
+            # shared cache tier.
+            token: Optional[str] = None
+            if self._leases is not None:
+                token = self._leases.acquire(fingerprint)
+                if token is not None:
+                    # Between our cache miss and winning the lease,
+                    # another process may have published and released;
+                    # re-check so we don't re-run a finished search.
+                    entry = self.cache.get(fingerprint)
+                    if entry is not None:
+                        self._leases.release(fingerprint, token)
+                        result = cached_result(
+                            request, entry, time.perf_counter() - started)
+                        return self.scheduler.submit_completed(
+                            result, label=f"{request.label} (cached)")
+
             # The registration cell closes the race with ultra-fast jobs:
             # if the job is already terminal when its done-callback is
             # attached, ``release`` runs (on this thread) before we learn
@@ -190,6 +247,10 @@ class OptimisationService:
             cell: Dict[str, Any] = {"job_id": None, "done": False}
 
             def release(_future: Any) -> None:
+                if token is not None:
+                    # After on_success published the entry, so a released
+                    # lease with no entry means the search failed.
+                    self._leases.release(fingerprint, token)
                 with self._dedup_lock:
                     cell["done"] = True
                     job_id = cell["job_id"]
@@ -197,11 +258,34 @@ class OptimisationService:
                             self._inflight.get(fingerprint) == job_id:
                         del self._inflight[fingerprint]
 
-            job_id = self.scheduler.submit(
-                execute_request, request, fingerprint,
-                label=request.label,
-                on_success=self._store_callback(fingerprint),
-                on_done=release)
+            try:
+                if self._leases is not None and token is None:
+                    cfg = self._leases.config
+                    job_id = self.scheduler.submit(
+                        wait_for_result, request, fingerprint,
+                        str(self.cache.cache_dir),
+                        heartbeat_s=cfg.heartbeat_s,
+                        stale_after_s=cfg.stale_after_s,
+                        poll_interval_s=cfg.poll_interval_s,
+                        max_wait_s=cfg.max_wait_s,
+                        label=f"{request.label} (lease-wait)",
+                        on_success=self._store_searched_callback(fingerprint),
+                        on_done=release, stream=stream)
+                else:
+                    job_id = self.scheduler.submit(
+                        execute_request, request, fingerprint,
+                        label=request.label,
+                        on_success=self._store_callback(fingerprint),
+                        on_done=release, stream=stream)
+            except BaseException:
+                # A rejected admission (e.g. QueueFullError) never created
+                # the job whose done-callback would release the lease —
+                # releasing here keeps the fingerprint searchable by
+                # everyone (a leaked lease would wedge it cluster-wide
+                # until this process exits).
+                if token is not None:
+                    self._leases.release(fingerprint, token)
+                raise
             cell["job_id"] = job_id
             if not cell["done"]:
                 self._inflight[fingerprint] = job_id
@@ -210,33 +294,38 @@ class OptimisationService:
     def submit_batch(self, jobs: Iterable[BatchItem],
                      optimiser: str = "taso",
                      config: Optional[Mapping[str, Any]] = None,
-                     use_cache: bool = True) -> List[int]:
+                     use_cache: bool = True,
+                     stream: bool = False) -> List[int]:
         """Queue many jobs; returns job ids in submission order.
 
-        ``optimiser`` / ``config`` / ``use_cache`` are defaults applied to
-        items that do not carry their own.  Admission is all-or-nothing: if
-        any item is rejected (bad item, unknown optimiser, full queue), the
-        batch's already-admitted still-pending jobs are cancelled before the
-        error propagates, so no work is stranded without its job ids.
+        ``optimiser`` / ``config`` / ``use_cache`` / ``stream`` are
+        defaults applied to items that do not carry their own.  Admission
+        is all-or-nothing: if any item is rejected (bad item, unknown
+        optimiser, full queue), the batch's already-admitted still-pending
+        jobs are cancelled before the error propagates, so no work is
+        stranded without its job ids.
         """
         job_ids: List[int] = []
         try:
             for item in jobs:
                 if isinstance(item, JobRequest):
-                    job_ids.append(self.submit_request(item))
+                    job_ids.append(self.submit_request(item, stream=stream))
                 elif isinstance(item, Graph):
                     job_ids.append(self.submit(item, optimiser=optimiser,
                                                config=config,
-                                               use_cache=use_cache))
+                                               use_cache=use_cache,
+                                               stream=stream))
                 elif isinstance(item, tuple):
                     graph, model_name = item
                     job_ids.append(self.submit(graph, optimiser=optimiser,
                                                config=config,
                                                model_name=model_name,
-                                               use_cache=use_cache))
+                                               use_cache=use_cache,
+                                               stream=stream))
                 elif isinstance(item, Mapping):
                     kwargs = {"optimiser": optimiser, "config": config,
-                              "use_cache": use_cache, **item}
+                              "use_cache": use_cache, "stream": stream,
+                              **item}
                     job_ids.append(self.submit(**kwargs))
                 else:
                     raise TypeError(
@@ -255,6 +344,19 @@ class OptimisationService:
     def _store_callback(self, fingerprint: str):
         def store(result: ServiceResult) -> None:
             self.cache.put(CacheEntry.from_result(fingerprint, result.search))
+        return store
+
+    def _store_searched_callback(self, fingerprint: str):
+        """Like :meth:`_store_callback`, but only for genuine searches.
+
+        Waiter jobs usually return an entry *polled from* the shared
+        tier — republishing it would reset its provenance for no gain;
+        only a takeover search (``cache_hit=False``) is worth storing.
+        """
+        def store(result: ServiceResult) -> None:
+            if not result.cache_hit:
+                self.cache.put(
+                    CacheEntry.from_result(fingerprint, result.search))
         return store
 
     # -- polling / results ---------------------------------------------
@@ -320,6 +422,28 @@ class OptimisationService:
         return replace(outcome, job_id=job_id,
                        queue_time_s=queue_time, run_time_s=run_time)
 
+    def events(self, job_id: int, poll_interval_s: float = 0.05,
+               timeout: Optional[float] = None) -> Iterator[ProgressEvent]:
+        """Yield a streaming job's progress events until it finishes.
+
+        One :class:`~repro.service.events.ProgressEvent` per optimiser
+        iteration, for jobs submitted with ``stream=True`` (a coalesced
+        follower shares — and competes for — its primary's stream; a
+        cache hit yields nothing).  Events are consumed: two iterators
+        over the same job split the stream between them.
+
+        Args:
+            job_id: A job id from any of the submit methods.
+            poll_interval_s: Sleep between drains while the job runs.
+            timeout: Overall bound in seconds (``TimeoutError`` beyond).
+
+        Raises:
+            UnknownJobError: If the id was never issued or was retired.
+            TimeoutError: If ``timeout`` elapsed with the job unfinished.
+        """
+        return self.scheduler.events(job_id, poll_interval_s=poll_interval_s,
+                                     timeout=timeout)
+
     def gather(self, job_ids: Sequence[int],
                timeout: Optional[float] = None) -> List[ServiceResult]:
         """Results for ``job_ids``, in the given (submission) order.
@@ -357,6 +481,16 @@ class OptimisationService:
         return self.gather(job_ids, timeout)
 
     # -- introspection / lifecycle -------------------------------------
+    def probe_workers(self) -> Dict[str, bool]:
+        """Force one health probe of the remote worker fleet.
+
+        Returns ``{endpoint: reachable}`` (empty without remote
+        endpoints).  A successful probe refreshes the endpoint's
+        capacity/load record and readmits it from quarantine immediately
+        instead of waiting for the next background probe.
+        """
+        return self.scheduler.probe_workers()
+
     def stats(self) -> Dict[str, Any]:
         """Service counters: worker pool, job states, cache, dedup.
 
@@ -369,6 +503,9 @@ class OptimisationService:
         with self._dedup_lock:
             dedup = {"coalesced": self._coalesced_total,
                      "inflight": len(self._inflight)}
+        dedup["cross_process"] = self._leases is not None
+        if self._leases is not None:
+            dedup["leases_held"] = len(self._leases.held())
         stats = {
             "workers": self.scheduler.num_workers,
             "backend": self.scheduler.backend,
@@ -391,6 +528,8 @@ class OptimisationService:
                 retrievable); ``False`` abandons them.
         """
         self.scheduler.shutdown(wait=wait)
+        if self._leases is not None:
+            self._leases.close()
         with self._dedup_lock:
             self._inflight.clear()
             self._followers.clear()

@@ -12,12 +12,23 @@ job becomes a coroutine on that loop, which either
   ``remote_endpoints`` and the job is an optimisation request
   (``execute_request``-shaped — the only job type with a wire encoding).
 
-Remote dispatch is round-robin across endpoints, skipping any whose
-in-flight slots are saturated (a job never parks behind one slow box; if
-every endpoint is saturated it spills to the local pool).  A *transport*
-failure (box unreachable / dropped mid-call) falls back to local
-execution and is counted in :attr:`AsyncWorkerPool.stats` — an in-search
-failure on the remote side propagates to the caller like any job error.
+Remote dispatch is **health- and load-aware** (see
+:mod:`repro.service.health`): every endpoint carries a live record —
+capacity and in-flight jobs learned from periodic ``ping`` probes, an
+EWMA of observed call latency, and a consecutive-failure circuit
+breaker — and each job goes to the least-loaded live endpoint.  A dead
+box is quarantined after ``failure_threshold`` consecutive transport
+failures and receives no further work; the probe loop keeps pinging it
+and readmits it the moment it answers, so a rebooted worker rejoins the
+rotation automatically.  When every endpoint is quarantined or saturated
+the job spills to the local pool — jobs never fail because a box died.
+``router="round_robin"`` restores the legacy blind rotation as the
+benchmark baseline.
+
+A *transport* failure (box unreachable / dropped mid-call) falls back to
+local execution and is counted in :attr:`AsyncWorkerPool.stats` — an
+in-search failure on the remote side propagates to the caller like any
+job error.
 
 Because one event loop multiplexes every in-flight job, thousands of queued
 jobs cost one coroutine each rather than one thread each, and slow remote
@@ -28,12 +39,12 @@ from __future__ import annotations
 
 import asyncio
 import functools
-import itertools
 import threading
 from concurrent import futures
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from . import remote
+from .health import HealthRegistry
 from .worker import execute_request
 
 __all__ = ["AsyncWorkerPool"]
@@ -52,20 +63,37 @@ class AsyncWorkerPool:
         remote_endpoints: ``"host:port"`` strings of
             :class:`~repro.service.remote.WorkerServer` boxes.  Empty means
             all work runs locally.
-        max_remote_inflight: Concurrent calls allowed *per endpoint*
-            (matches the remote ``num_workers`` in a homogeneous fleet).
+        max_remote_inflight: Concurrent calls assumed allowed *per
+            endpoint* until the first successful ``ping`` reports the
+            worker's real capacity (which then takes over).
         local_threads: Run local jobs on a thread pool instead of
             processes — only sensible for tests and cache-dominated
             traffic; real searches want process parallelism.
+        router: ``"health"`` (least-loaded live endpoint, circuit
+            breaker + readmission — the default) or ``"round_robin"``
+            (the legacy rotation, kept as the benchmark baseline).
+        failure_threshold: Consecutive transport failures that quarantine
+            an endpoint under the health router.
+        probe_interval_s: Seconds between health-probe rounds (``ping``
+            of every endpoint).  ``0`` disables the background loop —
+            probes then only happen via :meth:`probe_endpoints`.
     """
 
     def __init__(self, num_workers: int = 4,
                  remote_endpoints: Optional[Sequence[str]] = None,
                  max_remote_inflight: int = 4,
-                 local_threads: bool = False):
+                 local_threads: bool = False,
+                 router: str = "health",
+                 failure_threshold: int = 3,
+                 probe_interval_s: float = 5.0):
         self.num_workers = max(1, int(num_workers))
         self.remote_endpoints = [str(e) for e in (remote_endpoints or [])]
         self.max_remote_inflight = max(1, int(max_remote_inflight))
+        self.probe_interval_s = max(0.0, float(probe_interval_s))
+        self.health = HealthRegistry(self.remote_endpoints,
+                                     default_capacity=self.max_remote_inflight,
+                                     failure_threshold=failure_threshold,
+                                     policy=router)
         self._stats_lock = threading.Lock()
         self._dispatched_local = 0
         self._dispatched_remote = 0
@@ -79,17 +107,18 @@ class AsyncWorkerPool:
                 max_workers=self.num_workers)
         self._loop = asyncio.new_event_loop()
         self._local_slots = asyncio.Semaphore(self.num_workers)
-        self._remote_slots = {
-            endpoint: asyncio.Semaphore(self.max_remote_inflight)
-            for endpoint in self.remote_endpoints
-        }
-        self._rr = itertools.cycle(self.remote_endpoints) \
-            if self.remote_endpoints else None
         self._inflight: set = set()
         self._closed = False
         self._thread = threading.Thread(target=self._loop.run_forever,
                                         name="repro-async-pool", daemon=True)
         self._thread.start()
+        self._probe_task: Optional["futures.Future"] = None
+        # The legacy round-robin baseline is deliberately blind: no probe
+        # loop, no capacity learning — the exact pre-health behaviour.
+        if (self.remote_endpoints and self.probe_interval_s > 0
+                and router == "health"):
+            self._probe_task = asyncio.run_coroutine_threadsafe(
+                self._probe_loop(), self._loop)
 
     # -- executor interface --------------------------------------------
     def submit(self, fn: Callable[..., Any], *args: Any,
@@ -112,63 +141,95 @@ class AsyncWorkerPool:
         future.add_done_callback(self._inflight.discard)
         return future
 
-    def _pick_endpoint(self) -> Optional[str]:
-        """Next round-robin endpoint with a free slot, or ``None``.
-
-        Skipping saturated endpoints avoids head-of-line blocking: a job
-        never parks behind one slow box while other endpoints (or the
-        local pool) sit idle.  When every endpoint is saturated the job
-        spills to the local process pool.
-        """
-        for _ in range(len(self.remote_endpoints)):
-            endpoint = next(self._rr)
-            if not self._remote_slots[endpoint].locked():
-                return endpoint
-        return None
-
     async def _dispatch(self, fn: Callable[..., Any], args: tuple,
                         kwargs: dict) -> Any:
-        if self._rr is not None and fn is execute_request:
-            endpoint = self._pick_endpoint()
+        if self.remote_endpoints and fn is execute_request:
+            endpoint = self.health.try_acquire()
             if endpoint is not None:
-                async with self._remote_slots[endpoint]:
-                    try:
-                        result = await remote.optimise_async(endpoint, *args)
-                    except remote.RemoteUnavailableError:
-                        with self._stats_lock:
-                            self._remote_fallbacks += 1
-                    else:
-                        with self._stats_lock:
-                            self._dispatched_remote += 1
-                        return result
+                started = self._loop.time()
+                try:
+                    result = await remote.optimise_async(
+                        endpoint, *args, progress=kwargs.get("progress"))
+                except remote.RemoteUnavailableError:
+                    self.health.record_failure(endpoint)
+                    with self._stats_lock:
+                        self._remote_fallbacks += 1
+                else:
+                    self.health.record_success(
+                        endpoint, self._loop.time() - started)
+                    with self._stats_lock:
+                        self._dispatched_remote += 1
+                    return result
+                finally:
+                    self.health.release(endpoint)
         async with self._local_slots:
             with self._stats_lock:
                 self._dispatched_local += 1
             return await self._loop.run_in_executor(
                 self._local, functools.partial(fn, *args, **kwargs))
 
+    # -- health probing ------------------------------------------------
+    async def _probe_once(self) -> Dict[str, bool]:
+        """Ping every endpoint concurrently; feed the health registry."""
+        async def probe(endpoint: str) -> bool:
+            try:
+                info = await remote.ping_async(endpoint, timeout_s=5.0)
+            except (remote.RemoteUnavailableError,
+                    remote.RemoteWorkerError, OSError):
+                self.health.observe_ping(endpoint, None)
+                return False
+            self.health.observe_ping(endpoint, info)
+            return True
+
+        results = await asyncio.gather(
+            *(probe(e) for e in self.remote_endpoints))
+        return dict(zip(self.remote_endpoints, results))
+
+    async def _probe_loop(self) -> None:
+        """Background probe: refresh load records, readmit healed boxes."""
+        while not self._closed:
+            try:
+                await self._probe_once()
+            except Exception:  # pragma: no cover - probe must never die
+                pass
+            await asyncio.sleep(self.probe_interval_s)
+
+    def probe_endpoints(self) -> Dict[str, bool]:
+        """Run one probe round now; ``{endpoint: reachable}``.
+
+        Synchronous front end to the background probe — a successful ping
+        updates capacity/load and readmits a quarantined endpoint
+        immediately, which is how tests (and impatient operators) avoid
+        waiting out ``probe_interval_s``.
+        """
+        if not self.remote_endpoints:
+            return {}
+        return asyncio.run_coroutine_threadsafe(
+            self._probe_once(), self._loop).result(timeout=30)
+
+    def ping_endpoints(self) -> Dict[str, bool]:
+        """Back-compat alias for :meth:`probe_endpoints`."""
+        return self.probe_endpoints()
+
     # -- introspection -------------------------------------------------
     @property
-    def stats(self) -> Dict[str, int]:
-        """Dispatch counters: local jobs, remote jobs, remote fallbacks."""
+    def stats(self) -> Dict[str, Any]:
+        """Dispatch counters plus per-endpoint health snapshots.
+
+        ``dispatched_local`` / ``dispatched_remote`` / ``remote_fallbacks``
+        as before; ``endpoints`` maps each endpoint to its
+        :meth:`~repro.service.health.EndpointHealth.to_dict` record when
+        any are configured.
+        """
         with self._stats_lock:
-            return {
+            counters: Dict[str, Any] = {
                 "dispatched_local": self._dispatched_local,
                 "dispatched_remote": self._dispatched_remote,
                 "remote_fallbacks": self._remote_fallbacks,
             }
-
-    def ping_endpoints(self) -> Dict[str, bool]:
-        """Probe every configured endpoint; ``{endpoint: reachable}``."""
-        health: Dict[str, bool] = {}
-        for endpoint in self.remote_endpoints:
-            try:
-                with remote.RemoteWorkerClient(endpoint, timeout_s=5.0) as c:
-                    c.ping()
-                health[endpoint] = True
-            except (remote.RemoteUnavailableError, OSError):
-                health[endpoint] = False
-        return health
+        if self.remote_endpoints:
+            counters["endpoints"] = self.health.snapshot()
+        return counters
 
     # -- lifecycle -----------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
@@ -176,6 +237,15 @@ class AsyncWorkerPool:
         if self._closed:
             return
         self._closed = True
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                # One no-op round trip lets the loop actually process the
+                # cancellation before run_forever is stopped below.
+                asyncio.run_coroutine_threadsafe(
+                    asyncio.sleep(0), self._loop).result(timeout=5)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
         if wait:
             futures.wait(list(self._inflight))
         self._loop.call_soon_threadsafe(self._loop.stop)

@@ -23,6 +23,11 @@ host (or one shared filesystem):
 * an :class:`EvictionPolicy` (max entries / max bytes / TTL) bounds the
   directory; policy is enforced after every store and on demand via
   :meth:`FingerprintCache.prune_persistent`.
+
+The cache directory also hosts the cross-process dedup lease files
+(``<fingerprint>.lease`` — see :mod:`repro.service.lease`); everything
+here deliberately touches ``*.json`` entries only, so leases are never
+counted, evicted or cleared as cache content.
 """
 
 from __future__ import annotations

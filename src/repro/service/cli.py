@@ -13,6 +13,9 @@ Examples::
     python -m repro.service squeezenet --cache-dir /var/cache/repro \\
         --cache-max-entries 512 --cache-ttl 86400
 
+    # follow a long search live (one progress line per optimiser iteration)
+    python -m repro.service bert -o xrlflow --follow
+
     # run this box as a remote search worker / maintain a cache directory
     python -m repro.service --worker-server 0.0.0.0:9100 --workers 8
     python -m repro.service --prune-cache --cache-dir /var/cache/repro \\
@@ -60,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="HOST:PORT", dest="remote_workers",
                         help="JSON-RPC worker endpoint (repeatable; implies "
                              "--backend async)")
+    parser.add_argument("--router", choices=["health", "round_robin"],
+                        default="health",
+                        help="remote dispatch policy (default: health — "
+                             "least-loaded live endpoint with circuit "
+                             "breaking; round_robin is the legacy rotation)")
+    parser.add_argument("--follow", action="store_true",
+                        help="stream per-iteration progress events for each "
+                             "job while it runs")
+    parser.add_argument("--no-cross-process-dedup", action="store_true",
+                        help="skip the cache-directory lease protocol that "
+                             "dedups identical submissions across service "
+                             "processes")
     parser.add_argument("--max-pending", type=int, default=256,
                         help="bounded admission queue size (default: 256)")
     parser.add_argument("--cache-dir", default=None,
@@ -202,11 +217,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              cache_policy=_eviction_policy(args),
                              max_pending=args.max_pending,
                              backend=backend,
-                             remote_endpoints=args.remote_workers) as service:
+                             remote_endpoints=args.remote_workers,
+                             router=args.router,
+                             cross_process_dedup=not args.no_cross_process_dedup,
+                             ) as service:
         for round_no in range(1, max(1, args.repeat) + 1):
             job_ids = service.submit_batch(graphs, optimiser=args.optimiser,
                                            config=config,
-                                           use_cache=not args.no_cache)
+                                           use_cache=not args.no_cache,
+                                           stream=args.follow)
+            if args.follow:
+                for job_id, (_, name) in zip(job_ids, graphs):
+                    for event in service.events(job_id):
+                        print(f"[follow] {name:14s} {event.summary()}")
             for result in service.gather(job_ids):
                 origin = ("cache-hit" if result.cache_hit
                           else "coalesced" if result.coalesced else "searched")
@@ -234,4 +257,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"pool: {pool['dispatched_local']} local / "
               f"{pool['dispatched_remote']} remote dispatches, "
               f"{pool['remote_fallbacks']} fallbacks")
+        for endpoint, health in pool.get("endpoints", {}).items():
+            state = "QUARANTINED" if health["quarantined"] else "live"
+            print(f"  {endpoint}: {state}, "
+                  f"{health['inflight']}/{health['capacity']} in flight, "
+                  f"ewma {1000.0 * health['ewma_latency_s']:.1f} ms, "
+                  f"{health['consecutive_failures']} consecutive failures")
     return 0

@@ -9,13 +9,19 @@ plain TCP socket, one JSON document per line::
 
 Three methods:
 
-* ``ping`` — liveness/identity probe; returns the worker's capacity.
+* ``ping`` — liveness/identity probe; returns the worker's capacity,
+  jobs served, and **jobs currently in flight** — the load signal the
+  health-aware dispatcher routes on.
 * ``optimise`` — run one search job; params carry the serialised
   :class:`~repro.service.worker.JobRequest` (graph via
   :mod:`repro.ir.serialize`) and the admission-time fingerprint.  The
   response carries the search outcome *without* the initial graph — the
   caller already holds it and rehydrates locally, which keeps the payload
-  proportional to the optimised graph only.
+  proportional to the optimised graph only.  When the params carry
+  ``"stream": true`` the server interleaves JSON-RPC *notification*
+  frames (``"method": "event"``, no id) ahead of the final response —
+  one per optimiser iteration — so callers can follow a long search's
+  progress live.
 * ``shutdown`` — ask the worker process to stop serving.
 
 Pieces:
@@ -42,16 +48,17 @@ import json
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, Mapping, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from ..ir.serialize import graph_from_dict, graph_to_dict
 from ..search.result import SearchResult
 from .worker import JobRequest, ServiceResult, execute_request
 
 __all__ = ["WorkerServer", "RemoteWorkerClient", "RemoteWorkerError",
-           "RemoteUnavailableError", "optimise_async", "parse_endpoint",
-           "request_to_wire", "request_from_wire", "result_to_wire",
-           "result_from_wire"]
+           "RemoteUnavailableError", "optimise_async", "ping_async",
+           "parse_endpoint", "request_to_wire", "request_from_wire",
+           "result_to_wire", "result_from_wire"]
 
 #: Version stamp of the wire format; servers reject requests from newer
 #: protocol revisions rather than mis-decoding them.
@@ -171,11 +178,19 @@ class _RequestHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # noqa: D102 - socketserver plumbing
         server: "WorkerServer" = self.server.owner  # type: ignore[attr-defined]
+
+        def notify(frame: Dict[str, Any]) -> None:
+            # Interleaved event frames are written from the same
+            # connection thread that runs the search, so they can never
+            # tear against the final response.
+            self.wfile.write(json.dumps(frame).encode() + b"\n")
+            self.wfile.flush()
+
         for line in self.rfile:
             line = line.strip()
             if not line:
                 continue
-            response = server.handle_call(line)
+            response = server.handle_call(line, notify=notify)
             self.wfile.write(json.dumps(response).encode() + b"\n")
             self.wfile.flush()
             if server.stopping:
@@ -211,6 +226,10 @@ class WorkerServer:
         self._thread: Optional[threading.Thread] = None
         self.stopping = False
         self.jobs_served = 0
+        #: Searches admitted but not yet finished — queued on the
+        #: semaphore *or* executing.  Reported by ``ping`` so dispatchers
+        #: can see load this server's caller did not create.
+        self.jobs_inflight = 0
         self._served_lock = threading.Lock()
 
     @property
@@ -220,8 +239,14 @@ class WorkerServer:
         return f"{host}:{port}"
 
     # -- dispatch ------------------------------------------------------
-    def handle_call(self, raw: bytes) -> Dict[str, Any]:
-        """Execute one JSON-RPC request line; always returns a response."""
+    def handle_call(self, raw: bytes,
+                    notify: Optional[Callable[[Dict[str, Any]], None]] = None,
+                    ) -> Dict[str, Any]:
+        """Execute one JSON-RPC request line; always returns a response.
+
+        ``notify`` — when given — lets streaming methods write JSON-RPC
+        notification frames to the connection ahead of the response.
+        """
         call_id: Any = None
         try:
             call = json.loads(raw)
@@ -231,9 +256,11 @@ class WorkerServer:
             if method == "ping":
                 result: Dict[str, Any] = {"pong": True,
                                           "workers": self.num_workers,
-                                          "jobs_served": self.jobs_served}
+                                          "capacity": self.num_workers,
+                                          "jobs_served": self.jobs_served,
+                                          "jobs_inflight": self.jobs_inflight}
             elif method == "optimise":
-                result = self._optimise(params)
+                result = self._optimise(params, notify)
             elif method == "shutdown":
                 self.stopping = True
                 threading.Thread(target=self.stop, daemon=True).start()
@@ -245,11 +272,29 @@ class WorkerServer:
                     "error": {"code": -32000, "message": repr(exc)}}
         return {"jsonrpc": "2.0", "id": call_id, "result": result}
 
-    def _optimise(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+    def _optimise(self, params: Mapping[str, Any],
+                  notify: Optional[Callable[[Dict[str, Any]], None]] = None,
+                  ) -> Dict[str, Any]:
         request, fingerprint = request_from_wire(params)
-        with self._slots:
-            outcome = execute_request(request, fingerprint)
-        with self._served_lock:  # connection threads finish concurrently
+        progress: Optional[Callable[[int, float, str], None]] = None
+        if params.get("stream") and notify is not None:
+            def progress(iteration: int, best_cost: float,
+                         best_graph_fp: str) -> None:
+                notify({"jsonrpc": "2.0", "method": "event",
+                        "params": {"iteration": int(iteration),
+                                   "best_cost": float(best_cost),
+                                   "best_graph_fp": str(best_graph_fp),
+                                   "timestamp": time.time()}})
+        with self._served_lock:
+            self.jobs_inflight += 1
+        try:
+            with self._slots:
+                outcome = execute_request(request, fingerprint,
+                                          progress=progress)
+        finally:
+            with self._served_lock:  # connection threads run concurrently
+                self.jobs_inflight -= 1
+        with self._served_lock:
             self.jobs_served += 1
         return result_to_wire(outcome)
 
@@ -282,6 +327,21 @@ class WorkerServer:
 
 
 # -- clients ------------------------------------------------------------
+def _relay_event(progress: Callable[[int, float, str], None],
+                 params: Mapping[str, Any]) -> None:
+    """Forward one wire ``event`` frame to a progress callback.
+
+    A malformed or failing event must never poison the search result it
+    rides alongside, so errors are swallowed here.
+    """
+    try:
+        progress(int(params.get("iteration", 0)),
+                 float(params.get("best_cost", 0.0)),
+                 str(params.get("best_graph_fp", "")))
+    except Exception:
+        pass
+
+
 class RemoteWorkerClient:
     """Blocking client for one worker endpoint (tests, scripts, CLI).
 
@@ -309,8 +369,14 @@ class RemoteWorkerClient:
                 f"cannot reach worker at {endpoint}: {exc}") from exc
         self._file = self._sock.makefile("rwb")
 
-    def call(self, method: str, params: Optional[Mapping[str, Any]] = None) -> Any:
+    def call(self, method: str, params: Optional[Mapping[str, Any]] = None,
+             on_notification: Optional[
+                 Callable[[Mapping[str, Any]], None]] = None) -> Any:
         """One JSON-RPC round trip.
+
+        ``on_notification`` — when given — receives the params of every
+        id-less notification frame (streamed ``event``\\ s) the server
+        interleaves ahead of the response.
 
         Returns:
             The call's ``result`` member.
@@ -326,14 +392,21 @@ class RemoteWorkerClient:
             try:
                 self._file.write(json.dumps(call).encode() + b"\n")
                 self._file.flush()
-                line = self._file.readline()
+                while True:
+                    line = self._file.readline()
+                    if not line:
+                        raise RemoteUnavailableError(
+                            f"worker at {self.endpoint} closed the "
+                            f"connection")
+                    response = json.loads(line)
+                    if "method" in response and "id" not in response:
+                        if on_notification is not None:
+                            on_notification(response.get("params") or {})
+                        continue
+                    break
             except OSError as exc:
                 raise RemoteUnavailableError(
                     f"worker at {self.endpoint} dropped: {exc}") from exc
-        if not line:
-            raise RemoteUnavailableError(
-                f"worker at {self.endpoint} closed the connection")
-        response = json.loads(line)
         if "error" in response:
             raise RemoteWorkerError(response["error"].get("message", "error"))
         return response.get("result")
@@ -342,10 +415,26 @@ class RemoteWorkerClient:
         """Liveness probe; returns the worker's capacity info."""
         return self.call("ping")
 
-    def optimise(self, request: JobRequest,
-                 fingerprint: str = "") -> ServiceResult:
-        """Run one search remotely and rehydrate the result locally."""
-        payload = self.call("optimise", request_to_wire(request, fingerprint))
+    def optimise(self, request: JobRequest, fingerprint: str = "",
+                 progress: Optional[Callable[[int, float, str], None]] = None,
+                 ) -> ServiceResult:
+        """Run one search remotely and rehydrate the result locally.
+
+        ``progress`` — when given — requests streaming: the worker
+        interleaves per-iteration ``event`` frames ahead of the result,
+        each forwarded as ``progress(iteration, best_cost,
+        best_graph_fp)``.
+        """
+        params = request_to_wire(request, fingerprint)
+        on_notification = None
+        if progress is not None:
+            params["stream"] = True
+
+            def on_notification(event_params: Mapping[str, Any]) -> None:
+                _relay_event(progress, event_params)
+
+        payload = self.call("optimise", params,
+                            on_notification=on_notification)
         return result_from_wire(payload, request.graph)
 
     def close(self) -> None:
@@ -364,11 +453,17 @@ class RemoteWorkerClient:
 
 
 async def optimise_async(endpoint: str, request: JobRequest,
-                         fingerprint: str = "") -> ServiceResult:
+                         fingerprint: str = "",
+                         progress: Optional[
+                             Callable[[int, float, str], None]] = None,
+                         ) -> ServiceResult:
     """Coroutine flavour of :meth:`RemoteWorkerClient.optimise`.
 
     Opens a fresh connection per call (the event loop multiplexes many of
     these concurrently, so per-call connections keep the pool stateless).
+    ``progress`` — when given — requests streaming and receives every
+    interleaved ``event`` frame as ``progress(iteration, best_cost,
+    best_graph_fp)``.
 
     Raises:
         RemoteWorkerError: If the worker returned an error object.
@@ -385,15 +480,64 @@ async def optimise_async(endpoint: str, request: JobRequest,
         raise RemoteUnavailableError(
             f"cannot reach worker at {endpoint}: {exc}") from exc
     try:
+        params = request_to_wire(request, fingerprint)
+        if progress is not None:
+            params["stream"] = True
         call = {"jsonrpc": "2.0", "id": 1, "method": "optimise",
-                "params": request_to_wire(request, fingerprint)}
+                "params": params}
         writer.write(json.dumps(call).encode() + b"\n")
         await writer.drain()
-        line = await reader.readline()
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise RemoteUnavailableError(
+                    f"worker at {endpoint} closed the connection")
+            message = json.loads(line)
+            if message.get("method") == "event":
+                if progress is not None:
+                    _relay_event(progress, message.get("params") or {})
+                continue
+            break
+    except OSError as exc:
+        raise RemoteUnavailableError(
+            f"worker at {endpoint} dropped: {exc}") from exc
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:  # pragma: no cover - teardown race
+            pass
+    if "error" in message:
+        raise RemoteWorkerError(message["error"].get("message", "error"))
+    return result_from_wire(message["result"], request.graph)
+
+
+async def ping_async(endpoint: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    """Coroutine flavour of :meth:`RemoteWorkerClient.ping`.
+
+    The health-aware dispatcher's probe: returns the worker's ``ping``
+    payload (capacity, jobs served, jobs in flight).
+
+    Raises:
+        RemoteUnavailableError: On any transport failure or timeout.
+        RemoteWorkerError: If the worker returned an error object.
+    """
+    host, port = parse_endpoint(endpoint)
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout_s)
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise RemoteUnavailableError(
+            f"cannot reach worker at {endpoint}: {exc}") from exc
+    try:
+        call = {"jsonrpc": "2.0", "id": 1, "method": "ping", "params": {}}
+        writer.write(json.dumps(call).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=timeout_s)
         if not line:
             raise RemoteUnavailableError(
                 f"worker at {endpoint} closed the connection")
-    except OSError as exc:
+    except (OSError, asyncio.TimeoutError) as exc:
         raise RemoteUnavailableError(
             f"worker at {endpoint} dropped: {exc}") from exc
     finally:
@@ -405,4 +549,4 @@ async def optimise_async(endpoint: str, request: JobRequest,
     response = json.loads(line)
     if "error" in response:
         raise RemoteWorkerError(response["error"].get("message", "error"))
-    return result_from_wire(response["result"], request.graph)
+    return dict(response.get("result") or {})

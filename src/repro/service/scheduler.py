@@ -22,22 +22,34 @@ The scheduler also supports *attached* (follower) jobs — :meth:`attach`
 registers a new job id that shares an existing job's future, which is how
 the service coalesces concurrent identical requests onto one in-flight
 search.
+
+Jobs submitted with ``stream=True`` additionally get an **event channel**:
+the job body receives a ``progress`` callable (see
+:mod:`repro.service.events`) and everything it emits can be followed live
+through :meth:`JobHandle.events` — in-memory for the thread backend, via
+a spool file for the process/async backends (whose job bodies run in
+other processes).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
+import os
+import shutil
+import tempfile
 import threading
 import time
 from collections import deque
 from concurrent import futures
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["JobScheduler", "JobState", "JobRecord", "QueueFullError",
-           "UnknownJobError"]
+from .events import EventChannel, ProgressEvent
+
+__all__ = ["JobScheduler", "JobHandle", "JobState", "JobRecord",
+           "QueueFullError", "UnknownJobError"]
 
 
 class JobState(str, Enum):
@@ -103,6 +115,42 @@ class JobRecord:
 _BACKENDS = ("thread", "process", "async")
 
 
+class JobHandle:
+    """A caller-facing view of one scheduled job.
+
+    Thin and copy-free: every method delegates to the scheduler, so a
+    handle can be created at any time for any live job id.
+    """
+
+    def __init__(self, scheduler: "JobScheduler", job_id: int):
+        self.scheduler = scheduler
+        self.job_id = job_id
+
+    @property
+    def state(self) -> "JobState":
+        """Current :class:`JobState` (non-blocking)."""
+        return self.scheduler.poll(self.job_id)
+
+    def record(self) -> "JobRecord":
+        """Snapshot of the job's record (a copy, safe to keep)."""
+        return self.scheduler.record(self.job_id)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the job finishes; re-raises the job's exception."""
+        return self.scheduler.result(self.job_id, timeout)
+
+    def events(self, poll_interval_s: float = 0.05,
+               timeout: Optional[float] = None) -> Iterator[ProgressEvent]:
+        """Yield the job's progress events until it reaches a terminal
+        state (see :meth:`JobScheduler.events`)."""
+        return self.scheduler.events(self.job_id,
+                                     poll_interval_s=poll_interval_s,
+                                     timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return f"JobHandle(job_id={self.job_id})"
+
+
 class JobScheduler:
     """Submit/poll/result façade over a bounded worker pool.
 
@@ -122,6 +170,9 @@ class JobScheduler:
         use_processes: Back-compat alias for ``backend="process"``.
         remote_endpoints: ``"host:port"`` strings of off-box workers for
             the async backend (ignored otherwise).
+        router: Remote routing policy for the async backend —
+            ``"health"`` (least-loaded live endpoint, the default) or
+            ``"round_robin"`` (the legacy baseline).
 
     Raises:
         ValueError: If ``backend`` is not one of the recognised names.
@@ -130,7 +181,8 @@ class JobScheduler:
     def __init__(self, num_workers: int = 4, max_pending: int = 256,
                  max_history: int = 1024, use_processes: bool = False,
                  backend: Optional[str] = None,
-                 remote_endpoints: Optional[List[str]] = None):
+                 remote_endpoints: Optional[List[str]] = None,
+                 router: str = "health"):
         self.num_workers = max(1, int(num_workers))
         self.max_pending = max(1, int(max_pending))
         self.max_history = max(1, int(max_history))
@@ -154,7 +206,8 @@ class JobScheduler:
             from .async_pool import AsyncWorkerPool
             self._executor = AsyncWorkerPool(
                 num_workers=self.num_workers,
-                remote_endpoints=self.remote_endpoints)
+                remote_endpoints=self.remote_endpoints,
+                router=router)
         else:
             self._executor = futures.ThreadPoolExecutor(
                 max_workers=self.num_workers, thread_name_prefix="repro-worker")
@@ -165,6 +218,8 @@ class JobScheduler:
         self._on_done: Dict[int, Callable[[futures.Future], None]] = {}
         self._attached: set = set()
         self._terminal: "deque[int]" = deque()
+        self._channels: Dict[int, EventChannel] = {}
+        self._spool_dir: Optional[str] = None
         self._open_jobs = 0
         self._ids = itertools.count(1)
         self._closed = False
@@ -173,6 +228,7 @@ class JobScheduler:
     def submit(self, fn: Callable[..., Any], *args: Any, label: str = "",
                on_success: Optional[Callable[[Any], None]] = None,
                on_done: Optional[Callable[[futures.Future], None]] = None,
+               stream: bool = False,
                **kwargs: Any) -> int:
         """Queue ``fn(*args, **kwargs)``; returns the job id.
 
@@ -190,6 +246,10 @@ class JobScheduler:
             on_done: Runs exactly once with the job's future on *any*
                 terminal state (after ``on_success`` for successes) — used
                 by the service to retire in-flight dedup registrations.
+            stream: Open an event channel for the job and pass its sink to
+                ``fn`` as a ``progress`` keyword argument — ``fn`` must
+                accept it.  Follow the events via :meth:`events` /
+                :meth:`JobHandle.events`.
             **kwargs: Keyword arguments for ``fn``.
 
         Returns:
@@ -214,6 +274,10 @@ class JobScheduler:
                 submitted_at=time.monotonic(),
             )
             self._open_jobs += 1
+            channel: Optional[EventChannel] = None
+            if stream:
+                channel = self._open_channel_locked(job_id)
+                kwargs = {**kwargs, "progress": channel.sink()}
             try:
                 if self.backend == "thread":
                     future = self._executor.submit(
@@ -226,6 +290,9 @@ class JobScheduler:
             except BaseException:
                 self._open_jobs -= 1
                 del self._records[job_id]
+                if channel is not None:
+                    self._channels.pop(job_id, None)
+                    channel.close()
                 raise
             self._futures[job_id] = future
             if on_success is not None:
@@ -274,6 +341,11 @@ class JobScheduler:
             )
             self._futures[job_id] = future
             self._attached.add(job_id)
+            primary_channel = self._channels.get(primary_job_id)
+            if primary_channel is not None:
+                # Followers watch the primary's stream: one search, every
+                # waiter sees its progress.
+                self._channels[job_id] = primary_channel
         future.add_done_callback(
             lambda f, job_id=job_id: self._finalise(job_id, f))
         return job_id
@@ -300,6 +372,18 @@ class JobScheduler:
             self._retire_locked(job_id)
         return job_id
 
+    def _open_channel_locked(self, job_id: int) -> EventChannel:
+        """Create the job's event channel (spool-file backed off-thread)."""
+        if self.backend == "thread":
+            channel = EventChannel()
+        else:
+            if self._spool_dir is None:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-events-")
+            channel = EventChannel(
+                os.path.join(self._spool_dir, f"job{job_id}.events"))
+        self._channels[job_id] = channel
+        return channel
+
     def _retire_locked(self, job_id: int) -> None:
         """Track a terminal job and purge the oldest beyond ``max_history``."""
         self._terminal.append(job_id)
@@ -307,6 +391,9 @@ class JobScheduler:
             retired = self._terminal.popleft()
             self._records.pop(retired, None)
             self._futures.pop(retired, None)
+            channel = self._channels.pop(retired, None)
+            if channel is not None and channel not in self._channels.values():
+                channel.close()
 
     def _run_traced(self, job_id: int, fn: Callable[..., Any],
                     *args: Any, **kwargs: Any) -> Any:
@@ -348,6 +435,9 @@ class JobScheduler:
             self._retire_locked(job_id)
             on_success = self._on_success.pop(job_id, None)
             on_done = self._on_done.pop(job_id, None)
+            channel = self._channels.get(job_id)
+            if channel is not None:
+                channel.finish()  # events() iterators drain and stop
         if on_success is not None and state is JobState.SUCCEEDED:
             try:
                 on_success(future.result())
@@ -365,6 +455,59 @@ class JobScheduler:
     def poll(self, job_id: int) -> JobState:
         """Current state of ``job_id`` (non-blocking)."""
         return self.record(job_id).state
+
+    def handle(self, job_id: int) -> JobHandle:
+        """A :class:`JobHandle` view of ``job_id``.
+
+        Raises:
+            UnknownJobError: If the id was never issued or was retired.
+        """
+        self.record(job_id)  # validate the id now, not on first use
+        return JobHandle(self, job_id)
+
+    def events(self, job_id: int, poll_interval_s: float = 0.05,
+               timeout: Optional[float] = None) -> Iterator[ProgressEvent]:
+        """Yield ``job_id``'s progress events until it finishes.
+
+        Generator over :class:`~repro.service.events.ProgressEvent`; it
+        ends once the job is terminal and every buffered event has been
+        delivered.  A job submitted without ``stream=True`` (or one that
+        completed inline, like a cache hit) yields nothing.
+
+        Args:
+            job_id: A job id from :meth:`submit` / :meth:`attach`.
+            poll_interval_s: Sleep between drains while the job runs.
+            timeout: Overall bound in seconds; raises
+                :class:`TimeoutError` when exceeded before the job ends.
+
+        Raises:
+            UnknownJobError: If the id was never issued or was retired
+                before the first drain.
+            TimeoutError: If ``timeout`` elapsed with the job unfinished.
+        """
+        with self._lock:
+            channel = self._channels.get(job_id)
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        # Validate the id (and learn whether the job already ended).
+        state = self.poll(job_id)
+        while True:
+            if channel is not None:
+                for event in channel.drain():
+                    yield event
+            if state.is_terminal or (channel is not None and channel.finished):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state.value} after {timeout}s")
+            time.sleep(poll_interval_s)
+            try:
+                state = self.poll(job_id)
+            except UnknownJobError:
+                break  # retired mid-iteration: deliver what we have
+        if channel is not None:
+            for event in channel.drain():  # events raced the finish flag
+                yield event
 
     def record(self, job_id: int) -> JobRecord:
         """Snapshot of the job's record (a copy, safe to keep)."""
@@ -412,10 +555,21 @@ class JobScheduler:
         """Backend-specific dispatch counters, or ``None``.
 
         The async backend reports local/remote dispatch and fallback
-        counts; the thread and process pools have nothing to add.
+        counts (plus per-endpoint health snapshots); the thread and
+        process pools have nothing to add.
         """
         stats = getattr(self._executor, "stats", None)
         return dict(stats) if isinstance(stats, dict) else None
+
+    def probe_workers(self) -> Dict[str, bool]:
+        """Force one health-probe round of the remote endpoints.
+
+        Returns ``{endpoint: reachable}`` — empty for backends without
+        remote endpoints.  A successful probe refreshes the endpoint's
+        capacity/load record and readmits it from quarantine immediately.
+        """
+        probe = getattr(self._executor, "probe_endpoints", None)
+        return probe() if callable(probe) else {}
 
     def counts(self) -> Dict[str, int]:
         """``{state: count}`` over every job this scheduler has seen."""
@@ -456,6 +610,13 @@ class JobScheduler:
                 return
             self._closed = True
         self._executor.shutdown(wait=wait)
+        with self._lock:
+            for channel in self._channels.values():
+                channel.close()
+            self._channels.clear()
+            spool_dir, self._spool_dir = self._spool_dir, None
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
 
     def __enter__(self) -> "JobScheduler":
         return self

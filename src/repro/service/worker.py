@@ -87,14 +87,22 @@ class ServiceResult:
         return f"[job {self.job_id} via {origin}] {self.search.summary()}"
 
 
-def execute_request(request: JobRequest,
-                    fingerprint: str = "") -> ServiceResult:
+def execute_request(request: JobRequest, fingerprint: str = "",
+                    progress: Any = None) -> ServiceResult:
     """Run one search job from scratch (no cache consultation).
 
     ``fingerprint`` lets the caller pass the admission-time fingerprint
     along instead of re-hashing the whole graph in the worker.
+
+    ``progress`` — when given — is installed as the optimiser's
+    ``progress_callback``: a callable ``f(iteration, best_cost,
+    best_graph_fp)`` the search invokes once per iteration.  The serving
+    layer passes an event sink here (see :mod:`repro.service.events`); a
+    custom optimiser without the attribute simply streams nothing.
     """
     optimiser = create_optimiser(request.optimiser, **dict(request.config))
+    if progress is not None and hasattr(optimiser, "progress_callback"):
+        optimiser.progress_callback = progress
     result = optimiser.optimise(request.graph,
                                 request.model_name or request.graph.name)
     return ServiceResult(search=result, cache_hit=False,

@@ -5,7 +5,6 @@ import pytest
 
 from repro import XRLflow, XRLflowConfig
 from repro.core import PAPER_TABLE4, ShapeVariant, evaluate_generalisation
-from repro.ir import GraphBuilder
 from repro.models import build_model
 
 

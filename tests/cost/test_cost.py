@@ -3,8 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.cost import (CostModel, DeviceConfig, E2ESimulator, SimulatedDevice,
-                        default_device, is_zero_cost, op_flops, op_memory_bytes)
+from repro.cost import (
+    CostModel,
+    E2ESimulator,
+    default_device,
+    is_zero_cost,
+    op_flops,
+    op_memory_bytes)
 from repro.ir import GraphBuilder, OpType
 from repro.ir.tensor import make_spec
 from repro.models import build_model

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import doctest
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]

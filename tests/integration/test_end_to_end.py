@@ -61,4 +61,4 @@ class TestFullPipeline:
             latencies.append(e2e.latency_ms(graph))
         # Same ordering (correlated) but not equal (discrepancy).
         assert (costs[0] < costs[1]) == (latencies[0] < latencies[1])
-        assert all(abs(c - l) > 1e-6 for c, l in zip(costs, latencies))
+        assert all(abs(c - lat) > 1e-6 for c, lat in zip(costs, latencies))

@@ -1,6 +1,5 @@
 """Tests for the fluent GraphBuilder API."""
 
-import pytest
 
 from repro.ir import GraphBuilder, OpType
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.ir.ops import (OP_REGISTRY, OpType, infer_output_spec, num_op_types,
                           op_index)
-from repro.ir.tensor import TensorShape, TensorSpec, make_spec
+from repro.ir.tensor import make_spec
 
 
 def spec(*dims, constant=False):

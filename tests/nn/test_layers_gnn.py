@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.nn import (Adam, BatchedGraphs, GraphEmbeddingNetwork, Linear, MLP,
-                      SGD, Tensor, clip_grad_norm)
+from repro.nn import (
+    Adam,
+    GraphEmbeddingNetwork,
+    Linear,
+    MLP,
+    SGD,
+    Tensor,
+    clip_grad_norm)
 from repro.rl.features import build_meta_graph
 from repro.ir import GraphBuilder
 

@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import XRLflowConfig
-from repro.cost import E2ESimulator
 from repro.ir import GraphBuilder
 from repro.rl import (GraphRewriteEnv, PPOTrainer, PPOUpdater, RolloutBuffer,
                       Transition, XRLflowAgent, build_meta_graph, compute_gae,

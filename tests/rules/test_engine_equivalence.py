@@ -16,7 +16,7 @@ from repro.cost import CostModel, E2ESimulator
 from repro.experiments import build_small_model
 from repro.ir import Graph, OpType
 from repro.rules import default_ruleset, eliminate_dead_nodes, full_scan_matching
-from repro.rules.base import Candidate, RewriteRule
+from repro.rules.base import RewriteRule
 from repro.search import GreedyOptimizer, PETOptimizer, TASOOptimizer
 
 MODELS = ["squeezenet", "resnext50", "bert", "vit"]

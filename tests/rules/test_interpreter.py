@@ -1,7 +1,6 @@
 """Tests for the reference graph interpreter."""
 
 import numpy as np
-import pytest
 
 from repro.ir import GraphBuilder
 from repro.rules.interpreter import GraphInterpreter, execute_graph, graphs_equivalent

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.cost import CostModel, E2ESimulator
-from repro.ir import GraphBuilder
+from repro.cost import CostModel
 from repro.models import build_model
 from repro.rules import default_ruleset, graphs_equivalent
 from repro.search import (GraphSpace, GreedyOptimizer, PETOptimizer,

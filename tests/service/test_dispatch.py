@@ -1,0 +1,213 @@
+"""Tests for health/load-aware remote dispatch and the circuit breaker.
+
+The acceptance bar for the cluster-dispatch work: with one saturated or
+dead endpoint in the fleet, dispatch routes around it (no job failures),
+quarantined endpoints receive no traffic, and a healed endpoint is
+readmitted by the probe loop without operator action.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.experiments import build_small_model
+from repro.service import (HealthRegistry, OptimisationService,
+                           RemoteWorkerClient, WorkerServer)
+from repro.service.remote import parse_endpoint
+from repro.service.worker import JobRequest
+
+TASO_FAST = {"max_iterations": 6}
+
+
+@pytest.fixture(scope="module")
+def squeezenet():
+    return build_small_model("squeezenet")
+
+
+# ---------------------------------------------------------------------------
+class TestHealthRegistry:
+    def test_least_loaded_endpoint_wins(self):
+        registry = HealthRegistry(["a:1", "b:1"], default_capacity=2)
+        first = registry.try_acquire()
+        assert first == "a:1"  # declaration order breaks the 0-load tie
+        assert registry.try_acquire() == "b:1"  # a:1 now carries load
+        # a:1 releases; it is again the least loaded.
+        registry.release("a:1")
+        assert registry.try_acquire() == "a:1"
+
+    def test_ping_capacity_caps_dispatch(self):
+        """The satellite bugfix: ping-reported capacity gates slots."""
+        registry = HealthRegistry(["a:1"], default_capacity=8)
+        registry.observe_ping("a:1", {"capacity": 2, "jobs_inflight": 0})
+        assert registry.try_acquire() == "a:1"
+        assert registry.try_acquire() == "a:1"
+        assert registry.try_acquire() is None  # both real slots taken
+
+    def test_worker_reported_load_counts(self):
+        """Load other dispatchers created (via ping) saturates us too."""
+        registry = HealthRegistry(["a:1"], default_capacity=4)
+        registry.observe_ping("a:1", {"capacity": 4, "jobs_inflight": 4})
+        assert registry.try_acquire() is None
+
+    def test_circuit_breaker_quarantines_and_readmits(self):
+        registry = HealthRegistry(["a:1"], failure_threshold=3)
+        assert not registry.record_failure("a:1")
+        assert not registry.record_failure("a:1")
+        assert registry.record_failure("a:1")  # third strike trips it
+        assert registry.quarantined_endpoints() == ["a:1"]
+        assert registry.try_acquire() is None
+        # A successful probe readmits immediately.
+        registry.observe_ping("a:1", {"capacity": 2, "jobs_inflight": 0})
+        assert registry.quarantined_endpoints() == []
+        assert registry.snapshot()["a:1"]["readmissions"] == 1
+        assert registry.try_acquire() == "a:1"
+
+    def test_success_resets_the_failure_count(self):
+        registry = HealthRegistry(["a:1"], failure_threshold=2)
+        registry.record_failure("a:1")
+        registry.record_success("a:1", 0.1)
+        registry.record_failure("a:1")
+        assert registry.quarantined_endpoints() == []
+
+    def test_latency_breaks_load_ties(self):
+        registry = HealthRegistry(["slow:1", "fast:1"], default_capacity=2)
+        registry.record_success("slow:1", 2.0)
+        registry.record_success("fast:1", 0.1)
+        assert registry.try_acquire() == "fast:1"
+
+    def test_round_robin_policy_is_the_legacy_rotation(self):
+        registry = HealthRegistry(["a:1", "b:1"], default_capacity=2,
+                                  policy="round_robin", failure_threshold=1)
+        assert registry.try_acquire() == "a:1"
+        assert registry.try_acquire() == "b:1"
+        assert registry.try_acquire() == "a:1"
+        # The baseline never quarantines — failures keep the box in rotation.
+        registry.record_failure("b:1")
+        assert registry.quarantined_endpoints() == []
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            HealthRegistry(["a:1"], policy="coin-flip")
+
+
+# ---------------------------------------------------------------------------
+class TestWorkerServerLoad:
+    def test_ping_reports_inflight_jobs(self, squeezenet):
+        """The server reports currently-running work, not just totals."""
+        release = threading.Event()
+
+        class _Stalling:
+            name = "stall-test"
+
+            def __init__(self):
+                pass
+
+            def optimise(self, graph, model_name=""):
+                release.wait(timeout=30)
+                from repro.search.greedy import TASOOptimizer
+                return TASOOptimizer(max_iterations=1).optimise(
+                    graph, model_name)
+
+        from repro.service import register_optimiser
+        register_optimiser("stall-test", _Stalling, {},
+                           "inflight probe", replace=True)
+        with WorkerServer(num_workers=2) as server:
+            request = JobRequest(graph=squeezenet, optimiser="stall-test")
+            worker = threading.Thread(
+                target=lambda: RemoteWorkerClient(server.endpoint).optimise(
+                    request),
+                daemon=True)
+            worker.start()
+            try:
+                deadline = time.monotonic() + 10
+                info = {}
+                while time.monotonic() < deadline:
+                    with RemoteWorkerClient(server.endpoint) as client:
+                        info = client.ping()
+                    if info.get("jobs_inflight", 0) >= 1:
+                        break
+                    time.sleep(0.05)
+                assert info["jobs_inflight"] >= 1
+                assert info["capacity"] == 2
+            finally:
+                release.set()
+                worker.join(timeout=30)
+            with RemoteWorkerClient(server.endpoint) as client:
+                drained = client.ping()
+            assert drained["jobs_inflight"] == 0
+            assert drained["jobs_served"] == 1
+
+
+# ---------------------------------------------------------------------------
+class TestHealthAwareDispatch:
+    def test_routes_around_a_dead_endpoint(self, squeezenet):
+        """One dead box in the fleet: every job completes, none fail."""
+        with WorkerServer(num_workers=2) as server:
+            with OptimisationService(
+                    num_workers=4,
+                    remote_endpoints=["127.0.0.1:1", server.endpoint],
+                    ) as service:
+                for _ in range(3):  # drive the dead box to quarantine
+                    service.probe_workers()
+                health = service.stats()["pool"]["endpoints"]
+                assert health["127.0.0.1:1"]["quarantined"]
+                assert not health[server.endpoint]["quarantined"]
+                ids = [service.submit(squeezenet, "taso", TASO_FAST,
+                                      model_name=f"m{i}", use_cache=False)
+                       for i in range(4)]
+                results = service.gather(ids, timeout=120)
+                stats = service.stats()["pool"]
+        assert len(results) == 4  # gather raised nothing: zero job failures
+        # Quarantined endpoints get no traffic, so no dispatch-time
+        # fallbacks are paid either.
+        assert stats["remote_fallbacks"] == 0
+        assert stats["dispatched_remote"] >= 1
+        assert stats["endpoints"]["127.0.0.1:1"]["inflight"] == 0
+
+    def test_healed_endpoint_is_readmitted(self, squeezenet):
+        """Quarantine → worker restarts → probe readmits → traffic returns."""
+        server = WorkerServer(num_workers=2).start()
+        endpoint = server.endpoint
+        _, port = parse_endpoint(endpoint)
+        with OptimisationService(num_workers=2,
+                                 remote_endpoints=[endpoint]) as service:
+            assert service.probe_workers() == {endpoint: True}
+            server.stop()
+            for _ in range(3):
+                service.probe_workers()
+            assert service.stats()["pool"]["endpoints"][endpoint]["quarantined"]
+
+            # While quarantined, jobs run locally without failing.
+            local = service.optimise(squeezenet, "taso", TASO_FAST,
+                                     use_cache=False, timeout=120)
+            assert local.search.model == "squeezenet"
+            assert service.stats()["pool"]["remote_fallbacks"] == 0
+
+            # The box comes back on the same port; one probe readmits it.
+            revived = WorkerServer(port=port, num_workers=2).start()
+            try:
+                assert service.probe_workers() == {endpoint: True}
+                health = service.stats()["pool"]["endpoints"][endpoint]
+                assert not health["quarantined"]
+                assert health["readmissions"] == 1
+                remote = service.optimise(squeezenet, "taso", TASO_FAST,
+                                          use_cache=False, timeout=120)
+                assert remote.search.model == "squeezenet"
+                assert service.stats()["pool"]["dispatched_remote"] >= 1
+            finally:
+                revived.stop()
+
+    def test_round_robin_router_still_works(self, squeezenet):
+        """The benchmark baseline path stays functional."""
+        with WorkerServer(num_workers=2) as server:
+            with OptimisationService(num_workers=2,
+                                     remote_endpoints=[server.endpoint],
+                                     router="round_robin") as service:
+                result = service.optimise(squeezenet, "taso", TASO_FAST,
+                                          use_cache=False, timeout=120)
+                stats = service.stats()["pool"]
+        assert result.search.model == "squeezenet"
+        assert stats["dispatched_remote"] == 1

@@ -1,0 +1,147 @@
+"""Tests for the CI benchmark-regression gate (``tools/check_bench.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", REPO_ROOT / "tools" / "check_bench.py")
+check_bench = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_bench", check_bench)
+_SPEC.loader.exec_module(check_bench)
+
+
+def _doc(smoke: bool = False, **speedups: float) -> dict:
+    """A minimal BENCH_search.json-shaped document."""
+    return {
+        "benchmark": "search", "schema": 1, "smoke": smoke,
+        "results": {
+            "candidate_throughput": {
+                "bert": {"speedup": speedups.get("throughput", 5.0),
+                         "candidates": 21},
+            },
+            "taso_end_to_end": {
+                "bert": {"speedup": speedups.get("e2e", 2.5),
+                         "iterations": 30},
+            },
+        },
+    }
+
+
+class TestFlatten:
+    def test_numeric_leaves_only(self):
+        leaves = check_bench.flatten_numbers(
+            {"a": {"b": 1.5, "name": "x", "flag": True}, "c": 2})
+        assert leaves == {"a.b": 1.5, "c": 2.0}
+
+    def test_gated_keys_glob_matching(self):
+        leaves = {"candidate_throughput.bert.speedup": 5.0,
+                  "candidate_throughput.bert.candidates": 21.0,
+                  "parallel_scaling.speedup": 0.9}
+        floors = check_bench.gated_keys(
+            leaves, {"candidate_throughput.*.speedup": 3.0})
+        assert floors == {"candidate_throughput.bert.speedup": 3.0}
+
+
+class TestEvaluate:
+    GATES = {"candidate_throughput.*.speedup": 3.0,
+             "taso_end_to_end.*.speedup": 2.0}
+
+    def test_full_mode_passes_within_tolerance(self):
+        problems, notes = check_bench.evaluate(
+            _doc(throughput=5.0, e2e=2.5), _doc(throughput=4.0, e2e=2.0),
+            self.GATES, smoke=False, tolerance=0.30)
+        assert problems == []
+        assert len(notes) == 2
+
+    def test_full_mode_fails_beyond_tolerance(self):
+        problems, _ = check_bench.evaluate(
+            _doc(throughput=5.0), _doc(throughput=3.0),
+            self.GATES, smoke=False, tolerance=0.30)
+        assert len(problems) == 1
+        assert "candidate_throughput.bert.speedup" in problems[0]
+        assert "regressed" in problems[0]
+
+    def test_smoke_mode_uses_absolute_floors(self):
+        # 3.2x would be a >30% regression vs a 5x baseline, but it clears
+        # the 3x smoke floor — reduced-budget runs are not ratio-comparable.
+        problems, _ = check_bench.evaluate(
+            _doc(throughput=5.0), _doc(smoke=True, throughput=3.2),
+            self.GATES, smoke=True)
+        assert problems == []
+        problems, _ = check_bench.evaluate(
+            _doc(throughput=5.0), _doc(smoke=True, throughput=2.0),
+            self.GATES, smoke=True)
+        assert len(problems) == 1
+        assert "smoke floor" in problems[0]
+
+    def test_missing_fresh_key_fails(self):
+        fresh = _doc()
+        del fresh["results"]["taso_end_to_end"]
+        problems, _ = check_bench.evaluate(_doc(), fresh, self.GATES,
+                                           smoke=False)
+        assert any("missing from the fresh results" in p for p in problems)
+
+    def test_new_benchmark_without_baseline_passes(self):
+        baseline = _doc()
+        del baseline["results"]["taso_end_to_end"]
+        problems, notes = check_bench.evaluate(baseline, _doc(), self.GATES,
+                                               smoke=False)
+        assert problems == []
+        assert any("no committed baseline" in n for n in notes)
+
+    def test_ungated_keys_are_ignored(self):
+        baseline = _doc()
+        fresh = _doc()
+        fresh["results"]["candidate_throughput"]["bert"]["candidates"] = 1.0
+        problems, _ = check_bench.evaluate(baseline, fresh, self.GATES,
+                                           smoke=False)
+        assert problems == []
+
+
+class TestCli:
+    def _write(self, path: Path, doc: dict) -> Path:
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_clean_gate_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "b").mkdir()
+        baseline = self._write(tmp_path / "b" / "BENCH_search.json", _doc())
+        fresh = self._write(tmp_path / "BENCH_search.json",
+                            _doc(smoke=True, throughput=4.0, e2e=2.2))
+        return_code = check_bench.main(["--baseline", str(baseline),
+                                        "--fresh", str(fresh)])
+        out = capsys.readouterr().out
+        assert return_code == 0
+        assert "smoke gate" in out  # auto-detected from the fresh flag
+        assert "benchmark gates clean" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "b").mkdir()
+        baseline = self._write(tmp_path / "b" / "BENCH_search.json", _doc())
+        fresh = self._write(tmp_path / "BENCH_search.json",
+                            _doc(throughput=1.5))
+        return_code = check_bench.main(["--baseline", str(baseline),
+                                        "--fresh", str(fresh), "--full"])
+        out = capsys.readouterr().out
+        assert return_code == 1
+        assert "FAIL" in out
+
+    def test_real_committed_files_pass_their_own_gate(self, capsys):
+        """The repo's committed numbers must clear their own full gate."""
+        for name in ("BENCH_search.json", "BENCH_service.json"):
+            path = REPO_ROOT / name
+            return_code = check_bench.main(["--baseline", str(path),
+                                           "--fresh", str(path), "--full"])
+            assert return_code == 0, capsys.readouterr().out
+
+    def test_unknown_file_is_rejected(self, tmp_path):
+        path = self._write(tmp_path / "BENCH_unknown.json", _doc())
+        with pytest.raises(SystemExit, match="no gates"):
+            check_bench.main(["--baseline", str(path), "--fresh", str(path)])

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate run by CI (and by ``tests/tools``).
+
+Compares a *fresh* benchmark results file (written by the smoke run in
+the CI workspace) against the *committed baseline* (the same file as of
+the last commit) and fails on regressed key speedups::
+
+    python tools/check_bench.py \\
+        --baseline /tmp/baseline/BENCH_search.json \\
+        --fresh BENCH_search.json
+
+Two comparison modes, chosen automatically from the fresh file's
+``smoke`` flag (override with ``--smoke`` / ``--full``):
+
+* **full** — fresh and baseline were produced by comparable runs: every
+  gated speedup must reach ``(1 - tolerance)`` of the committed value
+  (tolerance defaults to 0.30, the ">30% regression" bar).
+* **smoke** — the fresh run used reduced budgets, so committed full-run
+  magnitudes are not comparable; each gated speedup is instead checked
+  against an absolute floor mirroring the benchmark suite's own
+  assertions (e.g. warm cache ≥ 10x).
+
+Only the *gated* keys listed in :data:`GATES` are enforced — ratios like
+``parallel_scaling.speedup`` legitimately dip below 1.0 on single-core
+CI boxes and stay informational.  A gated key missing from the fresh
+file fails (the benchmark silently did not run); one missing from the
+baseline is reported but passes (first run of a new benchmark).
+
+Exit code 0 when clean, 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Default allowed fractional regression vs the committed baseline.
+DEFAULT_TOLERANCE = 0.30
+
+#: Gated speedup keys per benchmark file: ``pattern -> smoke floor``.
+#: Patterns are ``fnmatch`` globs over dotted key paths under ``results``;
+#: the smoke floor mirrors the corresponding benchmark's own assertion.
+GATES: Dict[str, Dict[str, float]] = {
+    "BENCH_search.json": {
+        "candidate_throughput.*.speedup": 3.0,
+        "taso_end_to_end.*.speedup": 2.0,
+    },
+    "BENCH_service.json": {
+        "cold_vs_warm.speedup": 10.0,
+        "warm_shared_cache.speedup": 1.0,
+        "dedup_under_contention.speedup": 1.0,
+        "dispatch_skewed_load.speedup": 1.0,
+        "cross_process_dedup.speedup": 1.0,
+    },
+}
+
+
+def flatten_numbers(doc: Mapping[str, Any], prefix: str = "") -> Dict[str, float]:
+    """Dotted-path → value for every numeric leaf of a nested mapping."""
+    leaves: Dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            leaves.update(flatten_numbers(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            leaves[path] = float(value)
+    return leaves
+
+
+def gated_keys(leaves: Mapping[str, float],
+               gates: Mapping[str, float]) -> Dict[str, float]:
+    """The subset of ``leaves`` matching any gate pattern → its floor."""
+    floors: Dict[str, float] = {}
+    for path in leaves:
+        for pattern, floor in gates.items():
+            if fnmatch.fnmatchcase(path, pattern):
+                floors[path] = floor
+                break
+    return floors
+
+
+def evaluate(baseline: Mapping[str, Any], fresh: Mapping[str, Any],
+             gates: Mapping[str, float], smoke: bool,
+             tolerance: float = DEFAULT_TOLERANCE,
+             ) -> Tuple[List[str], List[str]]:
+    """Compare one fresh results document against its baseline.
+
+    Args:
+        baseline: The committed benchmark JSON document.
+        fresh: The just-produced benchmark JSON document.
+        gates: ``pattern -> smoke floor`` for this file (see
+            :data:`GATES`).
+        smoke: Gate against absolute floors instead of baseline ratios.
+        tolerance: Allowed fractional regression in full mode.
+
+    Returns:
+        ``(problems, notes)`` — failures and informational lines.
+    """
+    baseline_leaves = flatten_numbers(baseline.get("results", {}))
+    fresh_leaves = flatten_numbers(fresh.get("results", {}))
+    problems: List[str] = []
+    notes: List[str] = []
+
+    # Gate every key the *union* matches, so a benchmark that silently
+    # stopped recording (present in baseline, absent fresh) still fails.
+    union = dict(fresh_leaves)
+    for path, value in baseline_leaves.items():
+        union.setdefault(path, value)
+    floors = gated_keys(union, gates)
+
+    for path in sorted(floors):
+        floor = floors[path]
+        fresh_value = fresh_leaves.get(path)
+        base_value = baseline_leaves.get(path)
+        if fresh_value is None:
+            problems.append(f"{path}: missing from the fresh results "
+                            f"(benchmark did not run?)")
+            continue
+        if smoke:
+            if fresh_value < floor:
+                problems.append(f"{path}: {fresh_value:.3f}x is below the "
+                                f"smoke floor {floor:.3f}x")
+            else:
+                notes.append(f"{path}: {fresh_value:.3f}x >= floor "
+                             f"{floor:.3f}x")
+            continue
+        if base_value is None:
+            notes.append(f"{path}: {fresh_value:.3f}x (no committed "
+                         f"baseline yet)")
+            continue
+        required = (1.0 - tolerance) * base_value
+        if fresh_value < required:
+            problems.append(
+                f"{path}: {fresh_value:.3f}x regressed more than "
+                f"{100 * tolerance:.0f}% vs committed {base_value:.3f}x "
+                f"(needs >= {required:.3f}x)")
+        else:
+            notes.append(f"{path}: {fresh_value:.3f}x vs committed "
+                         f"{base_value:.3f}x")
+    return problems, notes
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read benchmark file {path}: {exc}")
+
+
+def check_file(baseline_path: Path, fresh_path: Path,
+               smoke: Optional[bool] = None,
+               tolerance: float = DEFAULT_TOLERANCE,
+               ) -> Tuple[List[str], List[str], bool]:
+    """Run the gate for one baseline/fresh file pair.
+
+    ``smoke=None`` reads the mode from the fresh file's ``smoke`` flag.
+
+    Returns:
+        ``(problems, notes, smoke)`` with the mode actually applied.
+    """
+    gates = GATES.get(fresh_path.name)
+    if gates is None:
+        raise SystemExit(f"error: no gates defined for {fresh_path.name} "
+                         f"(known: {sorted(GATES)})")
+    fresh = _load(fresh_path)
+    baseline = _load(baseline_path)
+    if smoke is None:
+        smoke = bool(fresh.get("smoke"))
+    problems, notes = evaluate(baseline, fresh, gates, smoke=smoke,
+                               tolerance=tolerance)
+    return problems, notes, smoke
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark speedup regressions.")
+    parser.add_argument("--baseline", action="append", default=[],
+                        type=Path, required=True,
+                        help="committed benchmark JSON (repeatable; paired "
+                             "with --fresh by filename)")
+    parser.add_argument("--fresh", action="append", default=[], type=Path,
+                        required=True,
+                        help="freshly produced benchmark JSON (repeatable)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression in full mode "
+                             f"(default: {DEFAULT_TOLERANCE})")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--smoke", dest="smoke", action="store_true",
+                      default=None,
+                      help="force smoke mode (absolute floors)")
+    mode.add_argument("--full", dest="smoke", action="store_false",
+                      help="force full mode (baseline ratios)")
+    args = parser.parse_args(argv)
+
+    baselines = {path.name: path for path in args.baseline}
+    failures = 0
+    for fresh_path in args.fresh:
+        baseline_path = baselines.get(fresh_path.name)
+        if baseline_path is None:
+            print(f"error: no --baseline given for {fresh_path.name}")
+            failures += 1
+            continue
+        problems, notes, smoke = check_file(baseline_path, fresh_path,
+                                            smoke=args.smoke,
+                                            tolerance=args.tolerance)
+        print(f"== {fresh_path.name} ({'smoke' if smoke else 'full'} gate) ==")
+        for note in notes:
+            print(f"  ok   {note}")
+        for problem in problems:
+            print(f"  FAIL {problem}")
+        failures += len(problems)
+    if failures:
+        print(f"{failures} benchmark gate failure(s)")
+        return 1
+    print("benchmark gates clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ import ast
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Iterable, List
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
