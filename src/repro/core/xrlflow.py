@@ -108,15 +108,18 @@ class XRLflow:
             max_steps=cfg.max_steps,
             seed=cfg.seed,
             progress_callback=self._relay_progress,
+            incremental=cfg.incremental,
         )
 
-    def _build_agent(self) -> XRLflowAgent:
+    def _build_agent(self, dtype=None) -> XRLflowAgent:
         cfg = self.config
         return XRLflowAgent(hidden_dim=cfg.hidden_dim,
                             embedding_dim=cfg.embedding_dim,
                             num_gat_layers=cfg.num_gat_layers,
                             head_sizes=cfg.mlp_head_sizes,
-                            seed=cfg.seed)
+                            seed=cfg.seed,
+                            dtype=dtype if dtype is not None
+                            else np.dtype(cfg.dtype))
 
     # ------------------------------------------------------------------
     def train(self, graph: Graph, num_episodes: Optional[int] = None,
@@ -153,6 +156,7 @@ class XRLflow:
             batch_size=cfg.batch_size,
             max_grad_norm=cfg.max_grad_norm,
             seed=cfg.seed,
+            batched=cfg.batched_updates,
         )
         trainer = PPOTrainer(env, self.agent, updater,
                              update_frequency=cfg.update_frequency,
@@ -238,6 +242,11 @@ class XRLflow:
             "episodes_trained": float(len(self.history.episodes)) if self.history else 0.0,
             "mean_recent_reward": self.history.mean_reward() if self.history else 0.0,
         }
+        # Observation-encode cache effectiveness (the evaluation env's; the
+        # RL benchmark gates on the training-side number separately).
+        cache_stats = env.encode_cache_stats()
+        if cache_stats:
+            stats["encode_cache_hit_rate"] = cache_stats["hit_rate"]
         return SearchResult(
             optimiser=self.name,
             model=model_name or graph.name,
@@ -276,6 +285,9 @@ class XRLflow:
         Builds a fresh agent from the current ``config`` (architecture
         hyper-parameters must match the saved agent's) and replaces
         :attr:`agent`; pair with ``optimise(train=False)`` to reuse it.
+        The checkpoint's floating dtype wins over ``config.dtype``, so
+        float64 agents saved before float32 became the training default
+        reload bit-exactly.
 
         Parameters
         ----------
@@ -291,5 +303,11 @@ class XRLflow:
             architecture.
         """
         state = dict(np.load(path))
-        self.agent = self._build_agent()
+        # Honour the checkpoint's precision: an agent saved in float64
+        # (e.g. before float32 became the training default) must reload
+        # bit-exactly, not be silently downcast to the config dtype.
+        saved = next(iter(state.values()), None)
+        dtype = saved.dtype if saved is not None and \
+            np.issubdtype(saved.dtype, np.floating) else None
+        self.agent = self._build_agent(dtype=dtype)
         self.agent.load_state_dict(state)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import numpy as np
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -28,7 +29,7 @@ from typing import (
     Set,
     Tuple)
 
-from .ops import OP_REGISTRY, OpType, infer_output_spec
+from .ops import OP_REGISTRY, OpType, infer_output_spec, op_index
 from .tensor import TensorSpec
 
 __all__ = ["NodeId", "Edge", "Node", "Graph", "GraphDelta",
@@ -172,6 +173,11 @@ class Graph:
         self._out_edges: Dict[NodeId, List[Edge]] = {}
         self._next_id: NodeId = 0
         self._nodes_by_op: Dict[OpType, Dict[NodeId, None]] = {}
+        #: ``_op_ids[node_id]`` is the registry index of that node's op type
+        #: (stale entries for removed ids are never read — ids are not
+        #: reused).  Lets the RL feature encoder build one-hot rows with one
+        #: fancy-indexing pass instead of a per-node Python loop.
+        self._op_ids: List[int] = []
         self._scalar_cache: Dict[Hashable, object] = {}
         self._node_caches: Dict[Hashable, Dict[NodeId, object]] = {}
         self._delta: Optional[GraphDelta] = None
@@ -233,6 +239,7 @@ class Graph:
             self._in_edges[node_id].append(edge)
             self._out_edges[src].append(edge)
         self._nodes_by_op.setdefault(op_type, {})[node_id] = None
+        self._op_ids.append(op_index(op_type))
         if self._scalar_cache:
             self._scalar_cache.clear()
         if self._delta is not None:
@@ -293,7 +300,10 @@ class Graph:
     # Queries
     # ------------------------------------------------------------------
     def in_edges(self, node_id: NodeId) -> List[Edge]:
-        return sorted(self._in_edges[node_id], key=_edge_dst_slot)
+        edges = self._in_edges[node_id]
+        if len(edges) < 2:
+            return list(edges)
+        return sorted(edges, key=_edge_dst_slot)
 
     def out_edges(self, node_id: NodeId) -> List[Edge]:
         return list(self._out_edges[node_id])
@@ -314,6 +324,16 @@ class Graph:
     @property
     def num_nodes(self) -> int:
         return len(self.nodes)
+
+    @property
+    def id_bound(self) -> NodeId:
+        """Exclusive upper bound on node ids ever handed out by this graph.
+
+        Ids are monotonic and never reused, so a dense array of this length
+        can be used as an id-to-position lookup table (the RL feature
+        encoder builds one per encoding instead of a Python dict).
+        """
+        return self._next_id
 
     @property
     def num_edges(self) -> int:
@@ -340,6 +360,20 @@ class Graph:
     # ------------------------------------------------------------------
     # Op-type index / caches / mutation delta
     # ------------------------------------------------------------------
+    def op_index_table(self) -> np.ndarray:
+        """Node-id-indexed array of operator registry indices (read-only).
+
+        ``table[nid]`` is ``op_index(self.nodes[nid].op_type)`` for every
+        live node id; entries for removed ids are stale but never read.
+        Maintained incrementally by :meth:`add_node`; the ndarray view is
+        memoised until the next mutation — callers must not write to it.
+        """
+        cached = self._scalar_cache.get("op_ids")
+        if cached is None:
+            cached = np.asarray(self._op_ids, dtype=np.int64)
+            self._scalar_cache["op_ids"] = cached
+        return cached
+
     def nodes_by_op(self, *op_types: OpType) -> List[NodeId]:
         """Ids of all nodes with one of the given op types, in creation order.
 
@@ -373,6 +407,11 @@ class Graph:
             self._scalar_cache[key] = value
         return value
 
+    def memo_peek(self, key: Hashable, default=None):
+        """The memoised value for ``key``, or ``default`` — never computes."""
+        value = self._scalar_cache.get(key, _MISSING)
+        return default if value is _MISSING else value
+
     def begin_delta(self) -> GraphDelta:
         """Start (or restart) mutation recording from the current state."""
         self._delta = GraphDelta()
@@ -393,9 +432,11 @@ class Graph:
         deserialising); the normal mutation API maintains them in place.
         """
         self._nodes_by_op = {}
+        self._op_ids = [0] * self._next_id
         for nid in sorted(self.nodes):
             node = self.nodes[nid]
             self._nodes_by_op.setdefault(node.op_type, {})[nid] = None
+            self._op_ids[nid] = op_index(node.op_type)
         self._scalar_cache.clear()
         self._node_caches.clear()
 
@@ -550,6 +591,7 @@ class Graph:
         g._out_edges = {nid: list(edges) for nid, edges in self._out_edges.items()}
         g._nodes_by_op = {op: dict(bucket)
                           for op, bucket in self._nodes_by_op.items()}
+        g._op_ids = list(self._op_ids)
         g._scalar_cache = dict(self._scalar_cache)
         g._node_caches = {key: dict(table)
                           for key, table in self._node_caches.items()}

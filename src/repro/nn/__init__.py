@@ -1,8 +1,10 @@
 """numpy autodiff engine, dense layers, GNN layers and optimisers."""
 
-from .tensor import (Tensor, as_tensor, concat, segment_max, segment_softmax,
+from .tensor import (Tensor, as_tensor, concat, default_dtype,
+                     get_default_dtype, is_grad_enabled, no_grad,
+                     reference_kernels, segment_max, segment_softmax,
                      segment_sum, stack)
-from .layers import Linear, MLP, Module, Parameter
+from .layers import Linear, MLP, Module, Parameter, fresh_rng
 from .optim import Adam, SGD, clip_grad_norm
 from .gnn import (BatchedGraphs, GATLayer, GlobalUpdateLayer,
                   GraphEmbeddingNetwork, NodeUpdateLayer)
@@ -10,7 +12,9 @@ from .gnn import (BatchedGraphs, GATLayer, GlobalUpdateLayer,
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "segment_sum", "segment_softmax",
     "segment_max",
-    "Linear", "MLP", "Module", "Parameter",
+    "no_grad", "is_grad_enabled", "default_dtype", "get_default_dtype",
+    "reference_kernels",
+    "Linear", "MLP", "Module", "Parameter", "fresh_rng",
     "Adam", "SGD", "clip_grad_norm",
     "BatchedGraphs", "GATLayer", "GlobalUpdateLayer", "GraphEmbeddingNetwork",
     "NodeUpdateLayer",

@@ -17,13 +17,13 @@ forward pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
-from .layers import Linear, Module, Parameter
-from .tensor import Tensor, concat, segment_softmax, segment_sum
+from .layers import Linear, Module, Parameter, fresh_rng
+from .tensor import Tensor, concat, get_default_dtype, segment_softmax, segment_sum
 
 __all__ = ["BatchedGraphs", "NodeUpdateLayer", "GATLayer", "GlobalUpdateLayer",
            "GraphEmbeddingNetwork"]
@@ -44,6 +44,8 @@ class BatchedGraphs:
     graph_ids: np.ndarray       # [N]
     num_graphs: int
     global_features: np.ndarray  # [G, F_global]
+    #: Per-dtype memo of converted copies (see :meth:`cast`).
+    _cast_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -52,6 +54,30 @@ class BatchedGraphs:
     @property
     def num_edges(self) -> int:
         return int(self.edge_src.shape[0])
+
+    def cast(self, dtype) -> "BatchedGraphs":
+        """This batch with feature arrays in ``dtype``, memoised per dtype.
+
+        Observations are encoded once in float64 and re-used many times
+        (cached observations, PPO epochs); converting on every forward
+        would dominate a float32 run, so the converted copy is kept.
+        """
+        dtype = np.dtype(dtype)
+        if self.node_features.dtype == dtype:
+            return self
+        cached = self._cast_cache.get(dtype)
+        if cached is None:
+            cached = BatchedGraphs(
+                node_features=self.node_features.astype(dtype),
+                edge_features=self.edge_features.astype(dtype),
+                edge_src=self.edge_src,
+                edge_dst=self.edge_dst,
+                graph_ids=self.graph_ids,
+                num_graphs=self.num_graphs,
+                global_features=self.global_features.astype(dtype),
+            )
+            self._cast_cache[dtype] = cached
+        return cached
 
 
 class NodeUpdateLayer(Module):
@@ -77,7 +103,7 @@ class GATLayer(Module):
     """
 
     def __init__(self, dim: int, rng: Optional[np.random.Generator] = None):
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else fresh_rng()
         self.transform = Linear(dim, dim, rng=rng)
         self.attn_src = Parameter(rng.normal(0, 0.1, (dim, 1)), name="attn_src")
         self.attn_dst = Parameter(rng.normal(0, 0.1, (dim, 1)), name="attn_dst")
@@ -130,6 +156,7 @@ class GraphEmbeddingNetwork(Module):
 
     def forward(self, batch: BatchedGraphs) -> Tensor:
         """Return one embedding per graph in the batch: ``[num_graphs, embedding_dim]``."""
+        batch = batch.cast(get_default_dtype())
         nodes = Tensor(batch.node_features)
         nodes = self.node_update(batch, nodes)
         for layer in self.gat_layers:

@@ -8,7 +8,19 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["Module", "Parameter", "Linear", "MLP"]
+__all__ = ["Module", "Parameter", "Linear", "MLP", "fresh_rng"]
+
+
+def fresh_rng() -> np.random.Generator:
+    """An independently seeded generator for a layer built without ``rng``.
+
+    Layers used to default to ``np.random.default_rng(0)``, which meant every
+    layer constructed without an explicit generator shared seed 0 and got
+    *identical* weights — an MLP whose hidden layers all start equal cannot
+    break symmetry.  Entropy-seeded streams keep default-constructed layers
+    independent; pass an explicit ``rng`` for reproducibility.
+    """
+    return np.random.default_rng()
 
 
 class Parameter(Tensor):
@@ -49,7 +61,7 @@ class Module:
             if value.shape != p.data.shape:
                 raise ValueError(f"parameter {i} shape mismatch: "
                                  f"{value.shape} vs {p.data.shape}")
-            p.data = value.astype(np.float64)
+            p.data = value.astype(p.data.dtype)
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
@@ -70,7 +82,7 @@ class Linear(Module):
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: Optional[np.random.Generator] = None):
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else fresh_rng()
         scale = np.sqrt(6.0 / (in_features + out_features))
         self.weight = Parameter(rng.uniform(-scale, scale, (in_features, out_features)),
                                 name="weight")
@@ -92,7 +104,7 @@ class MLP(Module):
                  rng: Optional[np.random.Generator] = None):
         if len(sizes) < 2:
             raise ValueError("MLP needs at least input and output sizes")
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else fresh_rng()
         self.layers = [Linear(a, b, rng=rng) for a, b in zip(sizes[:-1], sizes[1:])]
         self.activate_final = activate_final
 

@@ -63,6 +63,10 @@ class Adam:
 
     def step(self) -> None:
         self._t += 1
+        # Bias-correction denominators are shared by every parameter; hoist
+        # the scalar powers out of the loop (same arithmetic per parameter).
+        bias1 = 1 - self.beta1 ** self._t
+        bias2 = 1 - self.beta2 ** self._t
         for p, m, v in zip(self.parameters, self._m, self._v):
             if p.grad is None:
                 continue
@@ -70,8 +74,8 @@ class Adam:
             m += (1 - self.beta1) * p.grad
             v *= self.beta2
             v += (1 - self.beta2) * (p.grad ** 2)
-            m_hat = m / (1 - self.beta1 ** self._t)
-            v_hat = v / (1 - self.beta2 ** self._t)
+            m_hat = m / bias1
+            v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def zero_grad(self) -> None:

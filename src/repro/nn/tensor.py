@@ -5,18 +5,178 @@ engine provides just the operations the GNN encoder and the PPO heads need
 (dense algebra, elementwise nonlinearities, segment operations for message
 passing, and the reductions used by the PPO loss).  Everything is vectorised
 numpy — no Python loops over elements.
+
+Three engine-level knobs matter for performance:
+
+* :func:`no_grad` — a context manager under which no autograd tape is
+  recorded (rollout inference does not need gradients);
+* :func:`default_dtype` — the floating dtype new tensors are created with
+  (``float64`` by default; training runs in ``float32`` for throughput);
+* segment reductions are implemented with a single flattened
+  ``np.bincount`` pass instead of ``np.add.at`` (the buffered ``ufunc.at``
+  path is notoriously slow).  Both accumulate strictly in input order, so
+  float64 results are bit-for-bit identical (``np.bincount`` always
+  accumulates in double precision, so float32 results round once at the
+  end instead of per addition); :func:`reference_kernels` forces the
+  original ``np.add.at`` implementation for equivalence tests and as the
+  benchmark baseline.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 __all__ = ["Tensor", "as_tensor", "concat", "stack", "segment_sum",
-           "segment_softmax", "segment_max"]
+           "segment_softmax", "segment_max", "no_grad", "is_grad_enabled",
+           "default_dtype", "get_default_dtype", "reference_kernels"]
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+#: Whether newly created ops record an autograd tape (see :func:`no_grad`).
+_GRAD_ENABLED: ContextVar[bool] = ContextVar("grad_enabled", default=True)
+#: Floating dtype for newly created tensors (see :func:`default_dtype`).
+_DEFAULT_DTYPE: ContextVar[np.dtype] = ContextVar(
+    "default_dtype", default=np.dtype(np.float64))
+#: Route segment reductions through the original ``np.add.at`` kernels.
+_REFERENCE_KERNELS: ContextVar[bool] = ContextVar(
+    "reference_kernels", default=False)
+
+
+@contextmanager
+def no_grad():
+    """Disable tape recording inside the block.
+
+    Ops executed under ``no_grad()`` compute their forward values as usual
+    but never attach parents or backward closures, so inference (e.g. the
+    agent's rollout ``act()``) pays no autograd overhead and holds no
+    references to intermediate arrays.
+    """
+    token = _GRAD_ENABLED.set(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.reset(token)
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops currently record an autograd tape."""
+    return _GRAD_ENABLED.get()
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Create all tensors inside the block with ``dtype``.
+
+    The engine default is ``float64`` (every existing equivalence suite is
+    bit-for-bit in double precision); PPO training wraps itself in
+    ``default_dtype(np.float32)`` for throughput.  Raw numpy inputs are cast
+    on :class:`Tensor` construction, so parameters, features and constants
+    all land in the same dtype and no silent promotion to ``float64``
+    happens mid-graph.
+    """
+    token = _DEFAULT_DTYPE.set(np.dtype(dtype))
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE.reset(token)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors are currently created with."""
+    return _DEFAULT_DTYPE.get()
+
+
+@contextmanager
+def reference_kernels():
+    """Force the original ``np.add.at`` segment kernels inside the block.
+
+    The fast path (flattened ``np.bincount``) accumulates in the same input
+    order, so both kernels produce bit-identical float64 results — this
+    context exists so tests can assert exactly that, and so benchmarks can
+    measure the seed implementation as their baseline.
+    """
+    token = _REFERENCE_KERNELS.set(True)
+    try:
+        yield
+    finally:
+        _REFERENCE_KERNELS.reset(token)
+
+
+#: Memo of flattened scatter indices keyed on the *identity* of the segment
+#: array (one forward/backward reuses the same ``edge_dst``/``edge_src``
+#: arrays many times; building the ``E * D`` flat index vector dominates the
+#: bincount otherwise).  Entries hold a reference to the key array, so its
+#: ``id`` cannot be recycled while the entry lives; the guard below re-checks
+#: identity before trusting a hit.  Process-global (the service's thread
+#: backend runs concurrent searches), hence the lock.
+_FLAT_IDS_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+#: Index arrays seen exactly once; promoted to the cache on their second
+#: use.  One-shot gather indices (fresh per PPO minibatch) would otherwise
+#: churn the cache and pin large flat-index vectors for zero future hits;
+#: the durable arrays (a meta-graph's ``edge_dst``, reused many times per
+#: forward) are promoted almost immediately.
+_FLAT_IDS_SEEN: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_FLAT_IDS_CACHE_SIZE = 64
+_FLAT_IDS_LOCK = threading.Lock()
+
+
+def _scatter_add_rows(values: np.ndarray, index: np.ndarray,
+                      num_rows: int) -> np.ndarray:
+    """``out[index[i]] += values[i]`` accumulating strictly in input order.
+
+    Implemented as one flattened ``np.bincount`` pass (a tight C loop) in
+    place of ``np.add.at``, whose buffered fancy-indexing path dispatches
+    per element.  Both iterate ``i = 0..len-1`` adding into the target
+    bucket, so in float64 partial sums round identically and the results
+    are bit-for-bit equal.  (In float32, bincount accumulates in double
+    and rounds once at the end — at least as accurate, but not bit-equal
+    to per-addition float32 rounding.)
+    """
+    if _REFERENCE_KERNELS.get():
+        out = np.zeros((num_rows,) + values.shape[1:], dtype=values.dtype)
+        np.add.at(out, index, values)
+        return out
+    if values.ndim == 1:
+        out = np.bincount(index, weights=values, minlength=num_rows)
+        return out.astype(values.dtype, copy=False)
+    cols = int(np.prod(values.shape[1:]))
+    flat = values.reshape(values.shape[0], cols)
+    if cols == 1:
+        # Attention logits and the like: a plain bincount on the raw index.
+        out = np.bincount(index, weights=flat[:, 0], minlength=num_rows)
+        return out.reshape((num_rows,) + values.shape[1:]).astype(
+            values.dtype, copy=False)
+    cache_key = (id(index), cols)
+    with _FLAT_IDS_LOCK:
+        entry = _FLAT_IDS_CACHE.get(cache_key)
+        if entry is not None and entry[0] is index:
+            flat_ids = entry[1]
+            _FLAT_IDS_CACHE.move_to_end(cache_key)
+        else:
+            entry = None
+    if entry is None:
+        flat_ids = (index[:, None] * cols
+                    + np.arange(cols, dtype=np.int64)[None, :]).ravel()
+        with _FLAT_IDS_LOCK:
+            if _FLAT_IDS_SEEN.get(cache_key) is index:
+                _FLAT_IDS_SEEN.pop(cache_key, None)
+                _FLAT_IDS_CACHE[cache_key] = (index, flat_ids)
+                if len(_FLAT_IDS_CACHE) > _FLAT_IDS_CACHE_SIZE:
+                    _FLAT_IDS_CACHE.popitem(last=False)
+            else:
+                _FLAT_IDS_SEEN[cache_key] = index
+                if len(_FLAT_IDS_SEEN) > _FLAT_IDS_CACHE_SIZE:
+                    _FLAT_IDS_SEEN.popitem(last=False)
+    out = np.bincount(flat_ids, weights=flat.ravel(),
+                      minlength=num_rows * cols)
+    return out.reshape((num_rows,) + values.shape[1:]).astype(
+        values.dtype, copy=False)
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -37,8 +197,9 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
-        self.data = np.asarray(data, dtype=np.float64)
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = "",
+                 dtype=None):
+        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE.get())
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -61,7 +222,8 @@ class Tensor:
         return float(self.data)
 
     def detach(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=False)
+        return Tensor(self.data.copy(), requires_grad=False,
+                      dtype=self.data.dtype)
 
     def __repr__(self) -> str:
         return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
@@ -71,7 +233,8 @@ class Tensor:
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         out = Tensor(data)
-        out.requires_grad = any(p.requires_grad for p in parents)
+        out.requires_grad = (_GRAD_ENABLED.get()
+                             and any(p.requires_grad for p in parents))
         if out.requires_grad:
             out._parents = tuple(parents)
             out._backward = backward
@@ -80,7 +243,8 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
             return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype),
+                            self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -280,10 +444,27 @@ class Tensor:
         n_rows = self.data.shape[0]
 
         def backward(grad):
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, np.asarray(grad))
-            self._accumulate(full)
+            grad = np.asarray(grad)
+            self._accumulate(_scatter_add_rows(grad, index, n_rows))
         return Tensor._make(out_data, (self,), backward)
+
+    def scatter_into(self, shape: Tuple[int, ...], *index_arrays,
+                     fill: float = 0.0) -> "Tensor":
+        """Scatter this tensor's elements into a ``fill``-initialised array.
+
+        ``data[index_arrays] = self`` — one index array per dimension of
+        ``shape``, all positions distinct (each element lands in its own
+        slot, so no accumulation happens and the gradient is a plain
+        gather).  This is how the agent places per-candidate logits into the
+        fixed-size padded action space in one O(n) op.
+        """
+        index = tuple(np.asarray(ix, dtype=np.int64) for ix in index_arrays)
+        data = np.full(shape, fill, dtype=self.data.dtype)
+        data[index] = self.data
+
+        def backward(grad):
+            self._accumulate(np.asarray(grad)[index])
+        return Tensor._make(data, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self - as_tensor(self.data.max(axis=axis, keepdims=True))
@@ -341,8 +522,7 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     """
     values = as_tensor(values)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    out_data = np.zeros((num_segments,) + values.data.shape[1:])
-    np.add.at(out_data, segment_ids, values.data)
+    out_data = _scatter_add_rows(values.data, segment_ids, num_segments)
 
     def backward(grad):
         values._accumulate(np.asarray(grad)[segment_ids])
@@ -352,7 +532,8 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
 def segment_max(values: np.ndarray, segment_ids: np.ndarray,
                 num_segments: int) -> np.ndarray:
     """Non-differentiable per-segment maximum (used to stabilise softmax)."""
-    out = np.full((num_segments,) + values.shape[1:], -np.inf)
+    out = np.full((num_segments,) + values.shape[1:], -np.inf,
+                  dtype=values.dtype)
     np.maximum.at(out, segment_ids, values)
     out[~np.isfinite(out)] = 0.0
     return out

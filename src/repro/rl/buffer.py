@@ -80,3 +80,17 @@ class RolloutBuffer:
         indices = rng.permutation(len(self.transitions))
         for start in range(0, len(indices), batch_size):
             yield indices[start:start + batch_size]
+
+    def gather(self, indices: np.ndarray
+               ) -> Tuple[List[Observation], np.ndarray, np.ndarray]:
+        """Observations, actions and stored log-probs for one minibatch.
+
+        The arrays feed :meth:`XRLflowAgent.evaluate_actions_batch` — one
+        call per minibatch instead of one forward per transition.
+        """
+        transitions = self.transitions
+        observations = [transitions[i].observation for i in indices]
+        actions = np.asarray([transitions[i].action for i in indices],
+                             dtype=np.int64)
+        log_probs = np.asarray([transitions[i].log_prob for i in indices])
+        return observations, actions, log_probs

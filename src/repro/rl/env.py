@@ -11,8 +11,9 @@ on the intermediate steps to keep the agent exploring).
 
 from __future__ import annotations
 
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +22,7 @@ from ..ir.graph import Graph
 from ..rules.base import Candidate, RuleSet
 from ..rules.rulesets import default_ruleset
 from ..nn.gnn import BatchedGraphs
-from .features import build_meta_graph
+from .features import FeatureCache, build_meta_graph
 
 __all__ = ["Observation", "StepResult", "GraphRewriteEnv"]
 
@@ -79,7 +80,10 @@ class GraphRewriteEnv:
                  reward_fn: Optional[RewardFn] = None,
                  seed: int = 0,
                  progress_callback: Optional[
-                     Callable[[int, float, str], None]] = None):
+                     Callable[[int, float, str], None]] = None,
+                 incremental: bool = True,
+                 feature_cache: Optional[FeatureCache] = None,
+                 max_cached_observations: int = 512):
         self.initial_graph = graph
         self.ruleset = ruleset or default_ruleset()
         self.e2e = e2e or E2ESimulator(seed=seed)
@@ -88,6 +92,26 @@ class GraphRewriteEnv:
         self.max_candidates = int(max_candidates)
         self.max_steps = int(max_steps)
         self.reward_fn = reward_fn or default_reward
+        #: ``incremental=False`` re-encodes every observation from scratch
+        #: with the reference encoder (the eager baseline for benchmarks);
+        #: the default routes all encoding through a structural-hash-keyed
+        #: :class:`~repro.rl.features.FeatureCache` plus delta-patched
+        #: per-node blocks.
+        self.incremental = bool(incremental)
+        if feature_cache is None and self.incremental:
+            feature_cache = FeatureCache()
+        self.feature_cache = feature_cache
+        #: Whole observations (candidates, mask, meta-graph) memoised per
+        #: current-graph structural hash.  The environment's dynamics are
+        #: deterministic given the ruleset, so a re-visited state — the next
+        #: episode retraces a prefix, a different action order reaches the
+        #: same graph — reuses the complete observation: no rule matching,
+        #: no candidate materialisation, no encoding.  One hash per step
+        #: (memoised on the graph object) instead of one per candidate.
+        self.max_cached_observations = int(max_cached_observations)
+        self._obs_cache: "OrderedDict[str, Observation]" = OrderedDict()
+        self._obs_hits = 0
+        self._obs_misses = 0
         #: Optional ``f(step, best_latency_ms, best_graph_fp)`` invoked
         #: after every environment step — the hook long RL searches use to
         #: stream partial best-so-far graphs (see repro.service.events).
@@ -148,12 +172,14 @@ class GraphRewriteEnv:
             raise RuntimeError("step() called before reset()")
         noop = observation.noop_index
         terminal_reward_needed = False
+        measured = False
 
         if action == noop or action >= len(observation.candidates) or \
                 not observation.action_mask[action]:
             # No-Op (or an out-of-range action, treated as No-Op): terminate.
             done = True
             reward = self._measure_reward()
+            measured = True
         else:
             candidate = observation.candidates[action]
             self.current_graph = candidate.graph
@@ -162,6 +188,7 @@ class GraphRewriteEnv:
             done = False
             if self.step_count % self.feedback_interval == 0:
                 reward = self._measure_reward()
+                measured = True
             else:
                 reward = self.step_reward
             if self.step_count >= self.max_steps:
@@ -175,8 +202,12 @@ class GraphRewriteEnv:
             terminal_reward_needed = True
         if terminal_reward_needed:
             reward += self._measure_reward()
+            measured = True
 
-        latency = self.e2e.latency_ms(self.current_graph)
+        # ``_measure_reward`` already timed the current graph this step —
+        # reuse its measurement instead of asking the simulator again.
+        latency = self.last_measured_ms if measured \
+            else self.e2e.latency_ms(self.current_graph)
         if latency < self.best_latency_ms:
             self.best_graph = self.current_graph
             self.best_latency_ms = latency
@@ -201,14 +232,41 @@ class GraphRewriteEnv:
         return reward
 
     def _observe(self) -> Observation:
+        if self.incremental and self.max_cached_observations > 0:
+            key = self.current_graph.structural_hash()
+            cached = self._obs_cache.get(key)
+            if cached is not None:
+                self._obs_cache.move_to_end(key)
+                self._obs_hits += 1
+                self._last_observation = cached
+                return cached
+            self._obs_misses += 1
         candidates = self._select_candidates()
         mask = np.zeros(self.action_space_size, dtype=bool)
         mask[: len(candidates)] = True
         mask[-1] = True  # No-Op is always available
-        meta = build_meta_graph([self.current_graph] + [c.graph for c in candidates])
+        meta = build_meta_graph(
+            [self.current_graph] + [c.graph for c in candidates],
+            cache=self.feature_cache, incremental=self.incremental)
         obs = Observation(meta_graph=meta, action_mask=mask, candidates=candidates)
+        if self.incremental and self.max_cached_observations > 0:
+            self._obs_cache[key] = obs
+            if len(self._obs_cache) > self.max_cached_observations:
+                self._obs_cache.popitem(last=False)
         self._last_observation = obs
         return obs
+
+    def encode_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss counters of the observation/encode caches (empty when
+        running with ``incremental=False``)."""
+        if self.feature_cache is None:
+            return {}
+        stats = self.feature_cache.stats()
+        total = self._obs_hits + self._obs_misses
+        stats["observation_hits"] = float(self._obs_hits)
+        stats["observation_misses"] = float(self._obs_misses)
+        stats["observation_hit_rate"] = self._obs_hits / total if total else 0.0
+        return stats
 
     def _select_candidates(self) -> List[Candidate]:
         """The ≤ ``max_candidates`` candidates shown to the agent.
@@ -227,9 +285,9 @@ class GraphRewriteEnv:
         if len(lazy) <= self.max_candidates:
             return [c for c in lazy if c.materialise() is not None]
 
-        queues: Dict[str, List[Tuple[int, Candidate]]] = {}
+        queues: Dict[str, Deque[Tuple[int, Candidate]]] = {}
         for index, candidate in enumerate(lazy):
-            queues.setdefault(candidate.rule_name, []).append((index, candidate))
+            queues.setdefault(candidate.rule_name, deque()).append((index, candidate))
         rotation = list(queues)
         picked: List[Tuple[int, Candidate]] = []
         while rotation and len(picked) < self.max_candidates:
@@ -239,7 +297,7 @@ class GraphRewriteEnv:
                     break
                 queue = queues[rule_name]
                 while queue:
-                    index, candidate = queue.pop(0)
+                    index, candidate = queue.popleft()
                     if candidate.materialise() is not None:
                         picked.append((index, candidate))
                         break

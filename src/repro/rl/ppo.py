@@ -13,26 +13,69 @@ Architecture (Figure 3 of the paper):
 
 The update is the PPO clip objective (Eq. 3–5): policy surrogate + value MSE
 + entropy bonus, optimised end-to-end with Adam.
+
+Performance notes:
+
+* ``forward`` is fully vectorised — pair rows are gathered for all actions
+  at once and the per-candidate logits land in the padded action space via
+  one ``scatter_into`` (the seed implementation rebuilt the padded vector
+  with an O(A²) ``list.index`` loop of 1-element tensors);
+* ``evaluate_actions_batch`` runs a whole PPO minibatch through a *single*
+  encoder forward by splicing every observation's meta-graph into one
+  :class:`~repro.nn.gnn.BatchedGraphs` (the meta-graph machinery batches
+  arbitrary graph sets, so batching across transitions is the same trick as
+  batching candidates within one);
+* rollout ``act()`` runs under :func:`~repro.nn.tensor.no_grad`, so
+  exploration builds no autograd tape — and memoises the policy output per
+  observation object (the environment returns the *same* observation for a
+  re-visited state), invalidated on every weight update;
+* the agent has a ``dtype`` knob — training defaults to ``float32`` through
+  :class:`~repro.core.config.XRLflowConfig`, while ``float64`` (the library
+  default) is kept for the bit-for-bit equivalence suite.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..nn.gnn import GraphEmbeddingNetwork
 from ..nn.layers import MLP, Module
 from ..nn.optim import Adam, clip_grad_norm
-from ..nn.tensor import Tensor, concat, stack
+from ..nn.tensor import Tensor, concat, default_dtype, no_grad
 from .buffer import RolloutBuffer
 from .env import Observation
-from .features import EDGE_FEATURE_DIM, GLOBAL_FEATURE_DIM, NODE_FEATURE_DIM
+from .features import (EDGE_FEATURE_DIM, GLOBAL_FEATURE_DIM, NODE_FEATURE_DIM,
+                       combine_meta_graphs)
 
 __all__ = ["ActionDecision", "XRLflowAgent", "PPOUpdater"]
 
 _MASK_VALUE = -1e9
+
+
+def _pair_indices(num_graphs: int, offset: int, num_actions: int
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays describing one observation's policy-head inputs.
+
+    For an observation whose meta-graph occupies embedding rows
+    ``offset .. offset + num_graphs - 1`` (current graph first), returns
+    ``(first, second, positions)`` where row ``i`` of the policy input is
+    ``[emb[first[i]] || emb[second[i]]]`` and its logit belongs at action
+    index ``positions[i]``.  The final row is the No-Op action ("stay on the
+    current graph"), scored at the last slot of the padded action space.
+    """
+    count = num_graphs  # one row per candidate plus the No-Op row
+    first = np.full(count, offset, dtype=np.int64)
+    second = np.empty(count, dtype=np.int64)
+    second[:count - 1] = offset + 1 + np.arange(count - 1, dtype=np.int64)
+    second[count - 1] = offset
+    positions = np.empty(count, dtype=np.int64)
+    positions[:count - 1] = np.arange(count - 1, dtype=np.int64)
+    positions[count - 1] = num_actions - 1
+    return first, second, positions
 
 
 @dataclass
@@ -51,87 +94,241 @@ class XRLflowAgent(Module):
     def __init__(self, hidden_dim: int = 64, embedding_dim: int = 64,
                  num_gat_layers: int = 5,
                  head_sizes: Sequence[int] = (256, 64),
-                 seed: int = 0):
-        rng = np.random.default_rng(seed)
-        self.encoder = GraphEmbeddingNetwork(
-            node_dim=NODE_FEATURE_DIM, edge_dim=EDGE_FEATURE_DIM,
-            global_dim=GLOBAL_FEATURE_DIM, hidden_dim=hidden_dim,
-            embedding_dim=embedding_dim, num_gat_layers=num_gat_layers, seed=seed)
-        head_sizes = list(head_sizes)
-        self.policy_head = MLP([2 * embedding_dim] + head_sizes + [1], rng=rng)
-        self.value_head = MLP([2 * embedding_dim] + head_sizes + [1], rng=rng)
+                 seed: int = 0,
+                 dtype=np.float64):
+        self.dtype = np.dtype(dtype)
+        with default_dtype(self.dtype):
+            rng = np.random.default_rng(seed)
+            self.encoder = GraphEmbeddingNetwork(
+                node_dim=NODE_FEATURE_DIM, edge_dim=EDGE_FEATURE_DIM,
+                global_dim=GLOBAL_FEATURE_DIM, hidden_dim=hidden_dim,
+                embedding_dim=embedding_dim, num_gat_layers=num_gat_layers,
+                seed=seed)
+            head_sizes = list(head_sizes)
+            self.policy_head = MLP([2 * embedding_dim] + head_sizes + [1], rng=rng)
+            self.value_head = MLP([2 * embedding_dim] + head_sizes + [1], rng=rng)
         self.embedding_dim = embedding_dim
         self._rng = np.random.default_rng(seed + 1)
+        #: Policy output per observation *object*: id -> (observation,
+        #: probabilities, value).  The policy is a deterministic function of
+        #: (weights, observation), so while the weights are frozen — every
+        #: rollout between PPO updates, every evaluation episode — a
+        #: re-visited observation costs a dict lookup instead of a GNN
+        #: forward.  Holding the observation keeps its id from being reused;
+        #: :meth:`invalidate_decision_cache` drops everything when the
+        #: weights change.
+        # Sized to the environment's own observation cache: once the env
+        # evicts an observation, its object id can never hit here again, so
+        # a larger bound would only pin dead meta-graphs.
+        self._decision_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._decision_cache_size = 512
+
+    def invalidate_decision_cache(self) -> None:
+        """Drop memoised policy outputs (call whenever weights change)."""
+        self._decision_cache.clear()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self.invalidate_decision_cache()
 
     # ------------------------------------------------------------------
     def forward(self, observation: Observation) -> Tuple[Tensor, Tensor]:
         """Return (masked logits over the padded action space, state value)."""
-        embeddings = self.encoder(observation.meta_graph)  # [1 + C, D]
-        num_graphs = observation.meta_graph.num_graphs
-        current = embeddings[0:1]                          # [1, D]
-        num_candidates = num_graphs - 1
+        with default_dtype(self.dtype):
+            embeddings = self.encoder(observation.meta_graph)  # [1 + C, D]
+            num_graphs = observation.meta_graph.num_graphs
+            num_actions = observation.action_mask.shape[0]
 
-        rows = []
-        current_b = current.reshape(self.embedding_dim)
-        if num_candidates > 0:
-            candidate_emb = embeddings[1:num_graphs]
-            for i in range(num_candidates):
-                rows.append(concat([current_b, candidate_emb[i]], axis=0))
-        # The No-Op action is "stay on the current graph".
-        rows.append(concat([current_b, current_b], axis=0))
-        pair_matrix = stack(rows, axis=0)                   # [C + 1, 2D]
-        logits = self.policy_head(pair_matrix).reshape(len(rows))
+            first, second, positions = _pair_indices(num_graphs, 0, num_actions)
+            pair_matrix = concat([embeddings.gather_rows(first),
+                                  embeddings.gather_rows(second)], axis=1)
+            logits = self.policy_head(pair_matrix).reshape(num_graphs)
+            # Pad to the fixed action-space size: candidate logits occupy the
+            # first C slots, the No-Op logit the final slot, everything else
+            # the mask value.  One O(C) scatter, gradient is a plain gather.
+            masked_logits = logits.scatter_into(
+                (num_actions,), positions, fill=_MASK_VALUE)
+            # Any candidate slot the environment marked invalid is masked too.
+            invalid = ~observation.action_mask
+            if invalid.any():
+                masked_logits = masked_logits + Tensor(
+                    np.where(invalid, _MASK_VALUE, 0.0))
 
-        # Pad to the fixed action-space size and apply the invalid-action mask.
-        mask = observation.action_mask
-        padded = np.full(mask.shape[0], _MASK_VALUE)
-        # Valid candidate logits occupy the first `num_candidates` slots and
-        # the final slot (No-Op).
-        logits_np_positions = list(range(num_candidates)) + [mask.shape[0] - 1]
-        pad_rows = []
-        for position in range(mask.shape[0]):
-            if position in logits_np_positions:
-                idx = logits_np_positions.index(position)
-                pad_rows.append(logits[idx:idx + 1])
+            # Value estimate from the current graph and the mean candidate
+            # embedding.
+            current_b = embeddings[0:1].reshape(self.embedding_dim)
+            if num_graphs > 1:
+                mean_candidate = embeddings[1:num_graphs].mean(axis=0)
             else:
-                pad_rows.append(Tensor(np.array([_MASK_VALUE])))
-        masked_logits = concat(pad_rows, axis=0)
-        # Any candidate slot the environment marked invalid is masked too.
-        invalid = ~mask
-        if invalid.any():
-            masked_logits = masked_logits + Tensor(np.where(invalid, _MASK_VALUE, 0.0))
-
-        # Value estimate from the current graph and the mean candidate embedding.
-        if num_candidates > 0:
-            mean_candidate = embeddings[1:num_graphs].mean(axis=0)
-        else:
-            mean_candidate = current_b
-        value_input = concat([current_b, mean_candidate], axis=0).reshape(1, -1)
-        value = self.value_head(value_input).reshape(1)
-        return masked_logits, value
+                mean_candidate = current_b
+            value_input = concat([current_b, mean_candidate], axis=0).reshape(1, -1)
+            value = self.value_head(value_input).reshape(1)
+            return masked_logits, value
 
     # ------------------------------------------------------------------
-    def act(self, observation: Observation, deterministic: bool = False) -> ActionDecision:
-        """Sample (or argmax) an action from the masked policy."""
-        logits, value = self.forward(observation)
-        probs = logits.softmax(axis=0).numpy()
-        probs = probs / probs.sum()
+    def act(self, observation: Observation, deterministic: bool = False,
+            grad: bool = False) -> ActionDecision:
+        """Sample (or argmax) an action from the masked policy.
+
+        Runs under :func:`~repro.nn.tensor.no_grad` unless ``grad=True`` —
+        rollouts never backpropagate through the decision, so building the
+        tape is pure overhead (kept switchable as the benchmark baseline).
+        The masked distribution and value are memoised per observation
+        object until the next weight update; sampling still draws from the
+        generator on every call, so cached and uncached rollouts consume
+        the rng identically.
+        """
+        entry = None if grad else self._decision_cache.get(id(observation))
+        if entry is not None and entry[0] is observation:
+            _, probs, value_f = entry
+            self._decision_cache.move_to_end(id(observation))
+        else:
+            if grad:
+                logits, value = self.forward(observation)
+            else:
+                with no_grad():
+                    logits, value = self.forward(observation)
+            probs = logits.softmax(axis=0).numpy().astype(np.float64, copy=True)
+            probs = probs / probs.sum()
+            value_f = float(value.numpy()[0])
+            if not grad:
+                self._decision_cache[id(observation)] = \
+                    (observation, probs, value_f)
+                if len(self._decision_cache) > self._decision_cache_size:
+                    self._decision_cache.popitem(last=False)
         if deterministic:
             action = int(np.argmax(probs))
         else:
             action = int(self._rng.choice(len(probs), p=probs))
         log_prob = float(np.log(probs[action] + 1e-12))
         return ActionDecision(action=action, log_prob=log_prob,
-                              value=float(value.numpy()[0]), probabilities=probs)
+                              value=value_f, probabilities=probs)
 
     def evaluate_actions(self, observation: Observation, action: int
                          ) -> Tuple[Tensor, Tensor, Tensor]:
-        """Differentiable (log-prob, value, entropy) of ``action``."""
+        """Differentiable (log-prob, value, entropy) of ``action``.
+
+        One observation at a time — the reference path for the batched
+        update and the equivalence suite.
+        """
         logits, value = self.forward(observation)
         log_probs = logits.log_softmax(axis=0)
         probs = log_probs.exp()
         entropy = -(probs * log_probs).sum()
         return log_probs[action:action + 1], value, entropy
+
+    def evaluate_actions_batch(self, observations: Sequence[Observation],
+                               actions: Sequence[int]
+                               ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Differentiable (log-probs, values, entropies), each ``[B]``.
+
+        Splices every *distinct* observation's meta-graph into one
+        :class:`~repro.nn.gnn.BatchedGraphs` and runs a *single* encoder
+        forward for the whole minibatch — the GNN message passing is where
+        nearly all the per-transition ops (and the autograd tape) used to
+        go.  Duplicate observations (the environment memoises re-visited
+        states, so one observation object can back several transitions) are
+        encoded and head-evaluated once.  All embedding rows the heads need
+        are pulled out of the combined matrix with *two* gathers — per-item
+        slicing of the big matrix would allocate a full-size gradient
+        buffer per item in the backward pass.  The head MLPs then run per
+        observation with exactly the shapes the single-observation path
+        uses: BLAS picks different kernels for different row counts
+        (``M=1`` matmuls round differently from ``M=B``), so batching the
+        *heads* would break the bit-for-bit float64 equivalence with
+        :meth:`evaluate_actions` that the segment-kernel accumulation order
+        guarantees for the encoder.
+        """
+        with default_dtype(self.dtype):
+            batch_size = len(observations)
+            num_actions = observations[0].action_mask.shape[0]
+            dim = self.embedding_dim
+
+            # Deduplicate by object identity; transition i uses unique[slot[i]].
+            unique: List[Observation] = []
+            slots: List[int] = []
+            positions_by_id: Dict[int, int] = {}
+            for obs in observations:
+                slot = positions_by_id.get(id(obs))
+                if slot is None:
+                    slot = len(unique)
+                    positions_by_id[id(obs)] = slot
+                    unique.append(obs)
+                slots.append(slot)
+
+            # Cast each observation's meta-graph up front (memoised per
+            # observation, so PPO epochs re-use the converted arrays) and
+            # splice the already-converted blocks.
+            combined, offsets = combine_meta_graphs(
+                [o.meta_graph.cast(self.dtype) for o in unique])
+            embeddings = self.encoder(combined)  # [sum G_u, D]
+
+            # Group unique observations by meta-graph size.  Within a group
+            # the head MLPs run on one stacked 3-D tensor: numpy's batched
+            # matmul applies the identical per-slice kernel as the 2-D
+            # single-observation path (same M/N/K), so every slice stays
+            # bit-for-bit equal to :meth:`evaluate_actions` while the whole
+            # group costs one set of ops.
+            groups: Dict[int, List[int]] = {}
+            for u, obs in enumerate(unique):
+                groups.setdefault(obs.meta_graph.num_graphs, []).append(u)
+
+            group_logit_blocks: List[Tensor] = []
+            group_value_blocks: List[Tensor] = []
+            row_of_unique = np.empty(len(unique), dtype=np.int64)
+            row_cursor = 0
+            for count, members in groups.items():
+                k = len(members)
+                first = np.empty(k * count, dtype=np.int64)
+                second = np.empty(k * count, dtype=np.int64)
+                for j, u in enumerate(members):
+                    f, s, _ = _pair_indices(count, int(offsets[u]),
+                                            num_actions)
+                    first[j * count:(j + 1) * count] = f
+                    second[j * count:(j + 1) * count] = s
+                    row_of_unique[u] = row_cursor + j
+                row_cursor += k
+                gathered_first = embeddings.gather_rows(first) \
+                    .reshape(k, count, dim)
+                gathered_second = embeddings.gather_rows(second) \
+                    .reshape(k, count, dim)
+                pair = concat([gathered_first, gathered_second], axis=2)
+                logits = self.policy_head(pair).reshape(k, count)
+                _, _, positions = _pair_indices(count, 0, num_actions)
+                masked = logits.reshape(k * count).scatter_into(
+                    (k, num_actions),
+                    np.repeat(np.arange(k, dtype=np.int64), count),
+                    np.tile(positions, k),
+                    fill=_MASK_VALUE)
+                invalid = ~np.stack([unique[u].action_mask for u in members])
+                masked = masked + Tensor(np.where(invalid, _MASK_VALUE, 0.0))
+                group_logit_blocks.append(masked)
+
+                # Current-graph row and mean candidate embedding per member.
+                current_rows = gathered_first[:, 0, :]          # [k, D]
+                if count > 1:
+                    mean_candidates = \
+                        gathered_second[:, :count - 1, :].mean(axis=1)
+                else:
+                    mean_candidates = current_rows
+                value_input = concat([current_rows, mean_candidates],
+                                     axis=1).reshape(k, 1, 2 * dim)
+                group_value_blocks.append(
+                    self.value_head(value_input).reshape(k))
+
+            # Reassemble per-transition rows (duplicates reuse unique rows);
+            # log-softmax, entropy and the chosen-action gather are row-wise.
+            unique_logits = concat(group_logit_blocks, axis=0)   # [U, A]
+            unique_values = concat(group_value_blocks, axis=0)   # [U]
+            transition_rows = row_of_unique[np.asarray(slots, dtype=np.int64)]
+            logit_matrix = unique_logits.gather_rows(transition_rows)
+            log_probs = logit_matrix.log_softmax(axis=-1)        # [B, A]
+            probs = log_probs.exp()
+            entropy = -(probs * log_probs).sum(axis=1)           # [B]
+            actions = np.asarray(actions, dtype=np.int64)
+            chosen = log_probs[np.arange(batch_size), actions]   # [B]
+            values = unique_values.gather_rows(transition_rows)  # [B]
+            return chosen, values, entropy
 
 
 @dataclass
@@ -143,7 +340,23 @@ class PPOUpdateStats:
 
 
 class PPOUpdater:
-    """PPO-clip optimiser for an :class:`XRLflowAgent`."""
+    """PPO-clip optimiser for an :class:`XRLflowAgent`.
+
+    ``batched=True`` (the default) evaluates each minibatch through
+    :meth:`XRLflowAgent.evaluate_actions_batch`; ``batched=False`` keeps the
+    seed per-transition loop as the benchmark baseline and equivalence
+    reference.
+
+    Minibatches whose observations sum to more than ``max_batch_nodes``
+    meta-graph nodes are split into node-bounded chunks with gradient
+    accumulation (each chunk's loss is scaled by ``1/B``, so the summed
+    gradient equals the whole-minibatch mean exactly, up to float addition
+    order).  One giant fused batch is *slower* than the loop on large
+    models: its activation arrays fall out of the CPU caches, and every
+    elementwise op becomes a round-trip to DRAM.  Chunking keeps the
+    per-op working set cache-resident while still amortising the Python
+    dispatch overhead over many transitions.
+    """
 
     def __init__(self, agent: XRLflowAgent,
                  learning_rate: float = 5e-4,
@@ -153,7 +366,9 @@ class PPOUpdater:
                  epochs: int = 4,
                  batch_size: int = 16,
                  max_grad_norm: float = 0.5,
-                 seed: int = 0):
+                 seed: int = 0,
+                 batched: bool = True,
+                 max_batch_nodes: int = 8192):
         self.agent = agent
         self.optimizer = Adam(agent.parameters(), lr=learning_rate)
         self.clip_epsilon = float(clip_epsilon)
@@ -162,54 +377,147 @@ class PPOUpdater:
         self.epochs = int(epochs)
         self.batch_size = int(batch_size)
         self.max_grad_norm = float(max_grad_norm)
+        self.batched = bool(batched)
+        self.max_batch_nodes = int(max_batch_nodes)
         self._rng = np.random.default_rng(seed)
 
     def update(self, buffer: RolloutBuffer) -> PPOUpdateStats:
         """Run PPO epochs over the buffer and return averaged statistics."""
         advantages, returns = buffer.finalise()
-        transitions = buffer.transitions
         stats = {"policy": 0.0, "value": 0.0, "entropy": 0.0, "grad": 0.0}
         updates = 0
 
-        for _ in range(self.epochs):
-            for batch_idx in buffer.minibatches(self.batch_size, self._rng):
-                self.optimizer.zero_grad()
-                losses = []
-                entropies = []
-                value_losses = []
-                for i in batch_idx:
-                    t = transitions[i]
-                    new_log_prob, value, entropy = self.agent.evaluate_actions(
-                        t.observation, t.action)
-                    ratio = (new_log_prob - t.log_prob).exp()
-                    adv = float(advantages[i])
-                    surrogate1 = ratio * adv
-                    surrogate2 = ratio.clip(1 - self.clip_epsilon,
-                                            1 + self.clip_epsilon) * adv
-                    # elementwise min of the two 1-element tensors
-                    take_first = float(surrogate1.numpy()[0]) <= float(surrogate2.numpy()[0])
-                    policy_loss = -(surrogate1 if take_first else surrogate2)
-                    value_loss = (value - float(returns[i])) ** 2
-                    losses.append(policy_loss)
-                    value_losses.append(value_loss)
-                    entropies.append(entropy)
-                n = len(batch_idx)
-                policy_term = sum(losses[1:], losses[0]) * (1.0 / n)
-                value_term = sum(value_losses[1:], value_losses[0]) * (1.0 / n)
-                entropy_term = sum(entropies[1:], entropies[0]) * (1.0 / n)
-                total = (policy_term + self.value_coef * value_term
-                         - self.entropy_coef * entropy_term)
-                total.backward()
-                grad_norm = clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
-                self.optimizer.step()
-                stats["policy"] += float(policy_term.numpy().sum())
-                stats["value"] += float(value_term.numpy().sum())
-                stats["entropy"] += float(entropy_term.numpy().sum())
-                stats["grad"] += grad_norm
-                updates += 1
+        dtype = getattr(self.agent, "dtype", np.float64)
+        with default_dtype(dtype):
+            for _ in range(self.epochs):
+                for batch_idx in buffer.minibatches(self.batch_size, self._rng):
+                    if self.batched:
+                        step = self._update_batched(buffer, batch_idx,
+                                                    advantages, returns)
+                    else:
+                        step = self._update_loop(buffer, batch_idx,
+                                                 advantages, returns)
+                    for key, value in step.items():
+                        stats[key] += value
+                    updates += 1
+
+        # The weights moved: memoised rollout decisions are stale.
+        invalidate = getattr(self.agent, "invalidate_decision_cache", None)
+        if invalidate is not None:
+            invalidate()
 
         scale = 1.0 / max(updates, 1)
         return PPOUpdateStats(policy_loss=stats["policy"] * scale,
                               value_loss=stats["value"] * scale,
                               entropy=stats["entropy"] * scale,
                               grad_norm=stats["grad"] * scale)
+
+    # ------------------------------------------------------------------
+    def _node_bounded_chunks(self, buffer: RolloutBuffer,
+                             batch_idx: np.ndarray) -> List[np.ndarray]:
+        """Split a minibatch into runs of <= ``max_batch_nodes`` meta nodes.
+
+        Duplicate observations inside a chunk are counted once — they are
+        deduplicated before encoding.
+        """
+        transitions = buffer.transitions
+        chunks: List[np.ndarray] = []
+        current: List[int] = []
+        seen: set = set()
+        nodes = 0
+        for i in batch_idx:
+            obs = transitions[i].observation
+            cost = 0 if id(obs) in seen else obs.meta_graph.num_nodes
+            if current and nodes + cost > self.max_batch_nodes:
+                chunks.append(np.asarray(current))
+                current, seen, nodes = [], set(), 0
+                cost = obs.meta_graph.num_nodes
+            current.append(int(i))
+            seen.add(id(obs))
+            nodes += cost
+        if current:
+            chunks.append(np.asarray(current))
+        return chunks
+
+    def _update_batched(self, buffer: RolloutBuffer, batch_idx: np.ndarray,
+                        advantages: np.ndarray, returns: np.ndarray):
+        """One optimiser step on a minibatch via the batched-forward path.
+
+        Each node-bounded chunk contributes ``chunk_loss_sum / B`` and is
+        backpropagated immediately (gradient accumulation): the summed
+        gradients equal the whole-minibatch mean-loss gradient by
+        linearity, and each chunk's tape is freed before the next one runs.
+        """
+        self.optimizer.zero_grad()
+        total_count = len(batch_idx)
+        scale = 1.0 / total_count
+        sums = {"policy": 0.0, "value": 0.0, "entropy": 0.0}
+        for chunk in self._node_bounded_chunks(buffer, batch_idx):
+            observations, actions, old_log_probs = buffer.gather(chunk)
+            new_log_probs, values, entropies = self.agent.evaluate_actions_batch(
+                observations, actions)
+            adv = Tensor(advantages[chunk])
+            ratio = (new_log_probs - Tensor(old_log_probs)).exp()
+            surrogate1 = ratio * adv
+            surrogate2 = ratio.clip(1 - self.clip_epsilon,
+                                    1 + self.clip_epsilon) * adv
+            # Elementwise min with the same subgradient choice as the loop
+            # path (ties go to the unclipped surrogate).
+            take_first = Tensor(
+                (surrogate1.data <= surrogate2.data).astype(
+                    surrogate1.data.dtype))
+            policy_elements = -(surrogate1 * take_first
+                                + surrogate2 * (1.0 - take_first))
+            policy_sum = policy_elements.sum()
+            value_sum = ((values - Tensor(returns[chunk])) ** 2).sum()
+            entropy_sum = entropies.sum()
+            total = (policy_sum + self.value_coef * value_sum
+                     - self.entropy_coef * entropy_sum) * scale
+            total.backward()
+            sums["policy"] += float(policy_sum.numpy().sum())
+            sums["value"] += float(value_sum.numpy().sum())
+            sums["entropy"] += float(entropy_sum.numpy().sum())
+        grad_norm = clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        return {"policy": sums["policy"] * scale,
+                "value": sums["value"] * scale,
+                "entropy": sums["entropy"] * scale,
+                "grad": grad_norm}
+
+    def _update_loop(self, buffer: RolloutBuffer, batch_idx: np.ndarray,
+                     advantages: np.ndarray, returns: np.ndarray):
+        """The seed per-transition update (one forward per transition)."""
+        transitions = buffer.transitions
+        self.optimizer.zero_grad()
+        losses = []
+        entropies = []
+        value_losses = []
+        for i in batch_idx:
+            t = transitions[i]
+            new_log_prob, value, entropy = self.agent.evaluate_actions(
+                t.observation, t.action)
+            ratio = (new_log_prob - t.log_prob).exp()
+            adv = float(advantages[i])
+            surrogate1 = ratio * adv
+            surrogate2 = ratio.clip(1 - self.clip_epsilon,
+                                    1 + self.clip_epsilon) * adv
+            # elementwise min of the two 1-element tensors
+            take_first = float(surrogate1.numpy()[0]) <= float(surrogate2.numpy()[0])
+            policy_loss = -(surrogate1 if take_first else surrogate2)
+            value_loss = (value - float(returns[i])) ** 2
+            losses.append(policy_loss)
+            value_losses.append(value_loss)
+            entropies.append(entropy)
+        n = len(batch_idx)
+        policy_term = sum(losses[1:], losses[0]) * (1.0 / n)
+        value_term = sum(value_losses[1:], value_losses[0]) * (1.0 / n)
+        entropy_term = sum(entropies[1:], entropies[0]) * (1.0 / n)
+        total = (policy_term + self.value_coef * value_term
+                 - self.entropy_coef * entropy_term)
+        total.backward()
+        grad_norm = clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        return {"policy": float(policy_term.numpy().sum()),
+                "value": float(value_term.numpy().sum()),
+                "entropy": float(entropy_term.numpy().sum()),
+                "grad": grad_norm}

@@ -105,22 +105,25 @@ class PPOTrainer:
                     f"episode {record.episode}: reward={record.total_reward:.2f} "
                     f"speedup={record.speedup:.3f} steps={record.steps}")
             if (episode + 1) % self.update_frequency == 0 and len(self.buffer) > 1:
-                stats = self.updater.update(self.buffer)
-                self.history.update_stats.append({
-                    "policy_loss": stats.policy_loss,
-                    "value_loss": stats.value_loss,
-                    "entropy": stats.entropy,
-                    "grad_norm": stats.grad_norm,
-                })
-                self.buffer.clear()
+                self._apply_update()
         # Flush any remaining transitions with one final update.
         if len(self.buffer) > 1:
-            stats = self.updater.update(self.buffer)
-            self.history.update_stats.append({
-                "policy_loss": stats.policy_loss,
-                "value_loss": stats.value_loss,
-                "entropy": stats.entropy,
-                "grad_norm": stats.grad_norm,
-            })
-            self.buffer.clear()
+            self._apply_update()
         return self.history
+
+    def _apply_update(self) -> None:
+        """Run one PPO update over the buffer and record its statistics
+        (plus the env's observation-encode cache hit rate, when running
+        incrementally — the number the RL benchmark tracks)."""
+        stats = self.updater.update(self.buffer)
+        record = {
+            "policy_loss": stats.policy_loss,
+            "value_loss": stats.value_loss,
+            "entropy": stats.entropy,
+            "grad_norm": stats.grad_norm,
+        }
+        cache_stats = self.env.encode_cache_stats()
+        if cache_stats:
+            record["encode_cache_hit_rate"] = cache_stats["hit_rate"]
+        self.history.update_stats.append(record)
+        self.buffer.clear()

@@ -128,3 +128,29 @@ class TestGNN:
                                     hidden_dim=16, embedding_dim=8, num_gat_layers=2)
         out = net(batch).numpy()
         assert not np.allclose(out[0], out[1])
+
+
+class TestDefaultRngIndependence:
+    """Regression: layers built without an explicit rng used to share
+    ``default_rng(0)`` and therefore start with *identical* weights."""
+
+    def test_two_default_linear_layers_differ(self):
+        a, b = Linear(8, 8), Linear(8, 8)
+        assert not np.array_equal(a.weight.data, b.weight.data)
+
+    def test_default_mlp_hidden_layers_differ_from_each_other(self):
+        mlp = MLP([8, 8, 8])
+        w0, w1 = mlp.layers[0].weight.data, mlp.layers[1].weight.data
+        assert not np.array_equal(w0, w1)
+
+    def test_two_default_gat_layers_differ(self):
+        from repro.nn import GATLayer
+        a, b = GATLayer(8), GATLayer(8)
+        assert not np.array_equal(a.transform.weight.data,
+                                  b.transform.weight.data)
+        assert not np.array_equal(a.attn_src.data, b.attn_src.data)
+
+    def test_explicit_rng_stays_reproducible(self):
+        a = Linear(8, 8, rng=np.random.default_rng(7))
+        b = Linear(8, 8, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)

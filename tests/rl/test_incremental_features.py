@@ -1,0 +1,372 @@
+"""Equivalence gate for the fast RL stack.
+
+The RL perf work (incremental observation encoding, batched PPO forward,
+no-grad rollouts, bincount segment kernels) must be behaviour-preserving:
+every assertion here compares the fast path against the seed semantics and
+requires *exact* float64 equality — feature arrays bit-for-bit, batched
+``evaluate_actions`` outputs bit-for-bit per transition, identical action
+sequences with and without the autograd tape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_small_model
+from repro.ir import GraphBuilder
+from repro.nn import Tensor, no_grad, reference_kernels, segment_sum
+from repro.rl import (FeatureCache, GraphRewriteEnv, PPOTrainer, PPOUpdater,
+                      RolloutBuffer, Transition, XRLflowAgent,
+                      build_meta_graph, encode_graph)
+from repro.rules import default_ruleset
+
+MODELS = ["squeezenet", "resnext50", "bert", "vit"]
+
+
+def scaled_attention_graph():
+    """Mul-of-batch-matmul chain: push-mul-bmm then fold-mul-matmul fodder."""
+    b = GraphBuilder("scaled_attention")
+    x = b.input((2, 4, 8), name="x")
+    w = b.weight((8, 8), name="w")
+    q = b.matmul(x, w)
+    kt = b.transpose(x, (0, 2, 1))
+    scores = b.batch_matmul(q, kt)
+    scale = b.constant((1,), name="scale")
+    return b.build([b.mul(scores, scale)])
+
+
+def algebra_cleanup_graph():
+    """distribute-mul-add, reassoc-matmul, double-transpose, slice-concat."""
+    b = GraphBuilder("algebra")
+    x = b.input((4, 8), name="x")
+    a = b.weight((8, 16), name="a")
+    c = b.weight((16, 4), name="c")
+    chain = b.matmul(b.matmul(x, a), c)
+    y = b.weight((4, 4), name="y")
+    k = b.constant((1,), name="k")
+    dist = b.mul(b.add(chain, y), k)
+    t = b.input((2, 3, 4), name="t")
+    double_t = b.relu(b.transpose(b.transpose(t, (0, 2, 1)), (0, 2, 1)))
+    u = b.input((2, 4), name="u")
+    v = b.weight((2, 6), name="v")
+    sl = b.relu(b.slice(b.concat([u, v], axis=1), axis=1, start=0, end=4))
+    r = b.input((2, 3, 4), name="r")
+    k2 = b.constant((1,), name="k2")
+    pushed = b.mul(b.transpose(r, (0, 2, 1)), k2)  # push-mul-reshape fodder
+    return b.build([dist, double_t, sl, pushed])
+
+
+def probe_graphs():
+    """Graphs that, together, let every curated rule produce candidates."""
+    return [build_small_model(name) for name in MODELS] + \
+        [scaled_attention_graph(), algebra_cleanup_graph()]
+
+
+def assert_features_equal(fast, ref):
+    for field in ("node_features", "edge_features", "edge_src", "edge_dst"):
+        a, b = getattr(fast, field), getattr(ref, field)
+        assert a.dtype == b.dtype, field
+        assert a.shape == b.shape, field
+        assert np.array_equal(a, b), field
+
+
+def candidate_closure(graph, depth=2):
+    """All (parent-sharing) candidate graphs up to ``depth`` rewrites deep."""
+    ruleset = default_ruleset()
+    out = []
+    frontier = [graph]
+    for _ in range(depth):
+        nxt = []
+        for parent in frontier:
+            for candidate in ruleset.all_candidates(parent):
+                out.append((candidate.rule_name, candidate.graph))
+                nxt.append(candidate.graph)
+        # A couple of grandchildren per level keeps the closure small.
+        frontier = nxt[:3]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# (a) Incremental encoding == reference encoding, bit-for-bit
+# ---------------------------------------------------------------------------
+
+class TestIncrementalEncoding:
+    @pytest.mark.parametrize("name", MODELS)
+    def test_fresh_graph_matches_reference(self, name):
+        graph = build_small_model(name)
+        assert_features_equal(encode_graph(graph),
+                              encode_graph(graph, incremental=False))
+
+    def test_delta_patched_candidates_cover_every_curated_rule(self):
+        """Candidates share the parent's per-node blocks (the delta-patched
+        path); their encodings must equal a from-scratch reference encode
+        for every rule in the curated set."""
+        covered = set()
+        for graph in probe_graphs():
+            # Encode the parent first so candidates genuinely patch cached
+            # blocks rather than building everything themselves.
+            encode_graph(graph)
+            for rule_name, child in candidate_closure(graph):
+                covered.add(rule_name)
+                assert_features_equal(
+                    encode_graph(child),
+                    encode_graph(child, incremental=False))
+        assert covered == set(default_ruleset().names())
+
+    def test_meta_graph_assembly_matches_reference(self):
+        graph = build_small_model("squeezenet")
+        candidates = default_ruleset().all_candidates(graph)
+        graphs = [graph] + [c.graph for c in candidates]
+        cache = FeatureCache()
+        fast = build_meta_graph(graphs, cache=cache)
+        ref = build_meta_graph(graphs, incremental=False)
+        for field in ("node_features", "edge_features", "edge_src",
+                      "edge_dst", "graph_ids", "global_features"):
+            assert np.array_equal(getattr(fast, field), getattr(ref, field)), field
+        assert fast.num_graphs == ref.num_graphs
+
+    def test_feature_cache_hits_and_eviction(self):
+        graph = build_small_model("squeezenet")
+        cache = FeatureCache(max_entries=2)
+        graph.structural_hash()  # hash memoised -> eligible for the LRU tier
+        clone = graph.copy()     # carries the hash memo, not the features
+        first = cache.encode(graph)
+        assert cache.encode(graph) is first  # object-memo hit
+        assert cache.stats()["hits"] == 1.0
+        # A structurally identical object hits via the (memoised) hash.
+        assert cache.encode(clone) is first
+        assert cache.stats()["hits"] == 2.0
+        # Filling past max_entries evicts the least recently used entry.
+        candidates = default_ruleset().all_candidates(graph)
+        for cand in candidates[:2]:
+            cand.graph.structural_hash()
+            cache.encode(cand.graph)
+        assert len(cache) == 2
+        assert cache.hit_rate == pytest.approx(2.0 / 5.0)
+
+    def test_fresh_candidates_skip_hashing(self):
+        """A candidate whose hash is not yet memoised is delta-encoded
+        without paying for a structural hash."""
+        graph = build_small_model("squeezenet")
+        cache = FeatureCache()
+        candidate = default_ruleset().all_candidates(graph)[0].graph
+        cache.encode(candidate)
+        assert candidate.memo_peek("hash") is None  # never hashed
+        assert len(cache) == 0  # not in the hash tier
+        assert cache.encode(candidate) is not None  # object memo serves it
+
+    def test_env_cache_hit_on_revisited_graph(self):
+        """The chosen candidate becomes the next step's current graph — a
+        guaranteed cache hit."""
+        graph = build_small_model("squeezenet")
+        env = GraphRewriteEnv(graph, max_candidates=8, max_steps=4, seed=0)
+        env.reset()
+        env.step(0)
+        stats = env.encode_cache_stats()
+        assert stats["hits"] >= 1.0
+        assert stats["hit_rate"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# (b) Batched evaluate_actions == per-transition loop (float64)
+# ---------------------------------------------------------------------------
+
+def collect_buffer(graph, agent, steps=12, seed=0):
+    env = GraphRewriteEnv(graph, max_candidates=12, max_steps=8, seed=seed)
+    buffer = RolloutBuffer()
+    obs = env.reset()
+    for _ in range(steps):
+        decision = agent.act(obs)
+        step = env.step(decision.action)
+        buffer.add(Transition(obs, decision.action, decision.log_prob,
+                              decision.value, step.reward, step.done))
+        obs = step.observation
+        if step.done:
+            obs = env.reset()
+    return buffer
+
+
+class TestBatchedEvaluate:
+    @pytest.mark.parametrize("name", ["squeezenet", "bert"])
+    def test_batch_matches_per_transition_bitwise(self, name):
+        graph = build_small_model(name)
+        agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                             num_gat_layers=2, head_sizes=(16,), seed=0)
+        buffer = collect_buffer(graph, agent)
+        observations, actions, _ = buffer.gather(np.arange(len(buffer)))
+        log_probs, values, entropies = agent.evaluate_actions_batch(
+            observations, actions)
+        for i, (obs, action) in enumerate(zip(observations, actions)):
+            lp, value, entropy = agent.evaluate_actions(obs, int(action))
+            assert lp.numpy()[0] == log_probs.numpy()[i]
+            assert value.numpy()[0] == values.numpy()[i]
+            assert float(entropy.numpy()) == entropies.numpy()[i]
+
+    def test_batched_update_matches_loop_update(self):
+        graph = build_small_model("squeezenet")
+        seed_agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                                  num_gat_layers=1, head_sizes=(16,), seed=0)
+        buffer = collect_buffer(graph, seed_agent)
+        agents = {}
+        for batched in (True, False):
+            agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                                 num_gat_layers=1, head_sizes=(16,), seed=0)
+            updater = PPOUpdater(agent, epochs=2, batch_size=4,
+                                 batched=batched, seed=0)
+            stats = updater.update(buffer)
+            agents[batched] = (agent, stats)
+        agent_b, stats_b = agents[True]
+        agent_l, stats_l = agents[False]
+        # Per-transition outputs are bit-equal; the minibatch reduction
+        # (np.mean vs sequential sum) rounds differently, so parameters
+        # agree to float64 round-off accumulated over the Adam steps.
+        assert stats_b.policy_loss == pytest.approx(stats_l.policy_loss,
+                                                    rel=1e-9, abs=1e-12)
+        assert stats_b.value_loss == pytest.approx(stats_l.value_loss,
+                                                   rel=1e-9, abs=1e-12)
+        for p_b, p_l in zip(agent_b.parameters(), agent_l.parameters()):
+            np.testing.assert_allclose(p_b.data, p_l.data,
+                                       rtol=1e-8, atol=1e-9)
+
+    def test_batched_update_trains(self):
+        graph = build_small_model("squeezenet")
+        agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                             num_gat_layers=1, head_sizes=(16,), seed=0)
+        env = GraphRewriteEnv(graph, max_candidates=8, max_steps=6, seed=0)
+        updater = PPOUpdater(agent, epochs=1, batch_size=4, batched=True)
+        trainer = PPOTrainer(env, agent, updater, update_frequency=2)
+        before = [p.data.copy() for p in agent.parameters()]
+        history = trainer.train(num_episodes=2)
+        assert any(not np.array_equal(b, p.data)
+                   for b, p in zip(before, agent.parameters()))
+        assert "encode_cache_hit_rate" in history.update_stats[0]
+
+
+# ---------------------------------------------------------------------------
+# (c) no_grad rollouts: identical actions, no tape
+# ---------------------------------------------------------------------------
+
+class TestNoGrad:
+    def test_rollout_actions_identical_with_and_without_tape(self):
+        graph = build_small_model("squeezenet")
+        trajectories = []
+        for grad in (False, True):
+            agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                                 num_gat_layers=2, head_sizes=(16,), seed=0)
+            env = GraphRewriteEnv(graph, max_candidates=12, max_steps=8,
+                                  seed=0)
+            obs = env.reset()
+            actions, done = [], False
+            while not done:
+                decision = agent.act(obs, grad=grad)
+                actions.append(decision.action)
+                step = env.step(decision.action)
+                obs, done = step.observation, step.done
+            trajectories.append(actions)
+        assert trajectories[0] == trajectories[1]
+
+    def test_no_grad_builds_no_tape(self):
+        weight = Tensor(np.ones((3, 3)), requires_grad=True)
+        with no_grad():
+            out = (Tensor(np.ones((2, 3))) @ weight).relu().sum()
+        assert not out.requires_grad
+        assert out._parents == ()
+        # Outside the context the tape comes back.
+        out = (Tensor(np.ones((2, 3))) @ weight).relu().sum()
+        assert out.requires_grad
+
+
+# ---------------------------------------------------------------------------
+# (d) bincount segment kernels == np.add.at reference kernels
+# ---------------------------------------------------------------------------
+
+class TestSegmentKernels:
+    def test_segment_sum_matches_reference_bitwise(self):
+        rng = np.random.default_rng(0)
+        for num_segments, rows, cols in [(7, 40, 5), (1, 3, 4), (5, 0, 4)]:
+            values = rng.normal(size=(rows, cols))
+            ids = rng.integers(0, num_segments, size=rows)
+            fast = segment_sum(Tensor(values), ids, num_segments).numpy()
+            with reference_kernels():
+                ref = segment_sum(Tensor(values), ids, num_segments).numpy()
+            assert np.array_equal(fast, ref)
+
+    def test_gather_rows_backward_matches_reference_bitwise(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(6, 4))
+        index = np.array([0, 2, 2, 5, 0, 0])
+        grads = []
+        for use_reference in (False, True):
+            t = Tensor(values.copy(), requires_grad=True)
+            if use_reference:
+                with reference_kernels():
+                    t.gather_rows(index).sum().backward()
+            else:
+                t.gather_rows(index).sum().backward()
+            grads.append(t.grad.copy())
+        assert np.array_equal(grads[0], grads[1])
+
+
+# ---------------------------------------------------------------------------
+# (e) float32 training
+# ---------------------------------------------------------------------------
+
+class TestFloat32:
+    def test_agent_parameters_and_outputs_use_requested_dtype(self):
+        agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                             num_gat_layers=1, head_sizes=(16,), seed=0,
+                             dtype=np.float32)
+        assert all(p.data.dtype == np.float32 for p in agent.parameters())
+        graph = build_small_model("squeezenet")
+        env = GraphRewriteEnv(graph, max_candidates=8, max_steps=4, seed=0)
+        logits, value = agent.forward(env.reset())
+        assert logits.numpy().dtype == np.float32
+        assert value.numpy().dtype == np.float32
+
+    def test_load_agent_preserves_checkpoint_dtype(self, tmp_path):
+        """A float64 checkpoint (saved before float32 became the training
+        default) must reload bit-exactly, not be downcast to config.dtype."""
+        from repro.core.config import XRLflowConfig
+        from repro.core.xrlflow import XRLflow
+        saver = XRLflow(XRLflowConfig.fast(dtype="float64"))
+        saver.agent = saver._build_agent()
+        path = str(tmp_path / "agent.npz")
+        saver.save_agent(path)
+
+        loader = XRLflow(XRLflowConfig.fast(dtype="float32"))
+        loader.load_agent(path)
+        assert all(p.data.dtype == np.float64
+                   for p in loader.agent.parameters())
+        for a, b in zip(saver.agent.parameters(),
+                        loader.agent.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_float32_training_reaches_float64_greedy_sequence(self):
+        """Training in float32 must land on the same greedy transformation
+        sequence as the float64 run on a small model (the precisions explore
+        identically-seeded trajectories; round-off must not flip the learnt
+        argmax decisions)."""
+        graph = build_small_model("squeezenet")
+        sequences = {}
+        for dtype in (np.float64, np.float32):
+            agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                                 num_gat_layers=1, head_sizes=(16,), seed=0,
+                                 dtype=dtype)
+            env = GraphRewriteEnv(graph, max_candidates=8, max_steps=6,
+                                  seed=0)
+            updater = PPOUpdater(agent, epochs=1, batch_size=4, seed=0)
+            trainer = PPOTrainer(env, agent, updater, update_frequency=2)
+            trainer.train(num_episodes=4)
+            # Greedy evaluation episode.
+            obs = env.reset()
+            actions, done = [], False
+            while not done:
+                decision = agent.act(obs, deterministic=True)
+                actions.append(decision.action)
+                step = env.step(decision.action)
+                obs, done = step.observation, step.done
+            sequences[np.dtype(dtype).name] = actions
+            # float32 state stays float32 through the whole run.
+            if dtype == np.float32:
+                assert all(p.data.dtype == np.float32
+                           for p in agent.parameters())
+        assert sequences["float32"] == sequences["float64"]

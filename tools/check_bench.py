@@ -56,6 +56,11 @@ GATES: Dict[str, Dict[str, float]] = {
         "dispatch_skewed_load.speedup": 1.0,
         "cross_process_dedup.speedup": 1.0,
     },
+    "BENCH_rl.json": {
+        "observation_encoding.*.speedup": 1.2,
+        "env_steps.*.speedup": 1.1,
+        "ppo_update.*.speedup": 1.1,
+    },
 }
 
 
