@@ -39,13 +39,13 @@ import numpy as np
 
 from repro.experiments import ExperimentReport, build_small_model
 from repro.nn import reference_kernels
-from repro.nn.tensor import Tensor, concat, stack
+from repro.nn.tensor import Tensor, concat, flat_ids_cache_stats, stack
 from repro.rl import (GraphRewriteEnv, RolloutBuffer, Transition,
                       PPOUpdater, XRLflowAgent, encode_graph)
 from repro.rules import default_ruleset
 
 SMOKE = os.environ.get("RL_BENCH_SMOKE") == "1"
-REPEATS = 1 if SMOKE else 3
+REPEATS = 1 if SMOKE else 5
 TRAIN_EPISODES = 2 if SMOKE else 6
 EVAL_EPISODES = 2 if SMOKE else 4
 BUFFER_EPISODES = 3 if SMOKE else 10
@@ -219,25 +219,52 @@ def test_observation_encoding_throughput(benchmark):
 # 2. Environment steps (optimise()-shaped workload)
 # ---------------------------------------------------------------------------
 
-def _run_workload(env, agent, grad):
-    """Stochastic training window + repeated deterministic evaluation."""
+def _trace_matching(env, stages):
+    """Route the env's rule-matching through a wall-clock accumulator."""
+    target = env._candidate_engine if env._candidate_engine is not None \
+        else env.ruleset
+    inner = target.lazy_candidates
+
+    def timed(graph):
+        started = time.perf_counter()
+        result = inner(graph)
+        stages["match_s"] += time.perf_counter() - started
+        return result
+
+    target.lazy_candidates = timed
+
+
+def _run_workload(env, agent, grad, stages=None):
+    """Stochastic training window + repeated deterministic evaluation.
+
+    ``stages`` (optional dict) accumulates per-stage wall-clock: ``act_s``
+    (policy forward — the delta GNN embed on the fast path, the full
+    meta-graph forward on the eager path), ``step_s`` (env transition:
+    candidate maintenance, materialisation, reward) and ``match_s`` (rule
+    matching inside ``step_s``, via :func:`_trace_matching`).
+    """
+    if stages is not None:
+        _trace_matching(env, stages)
     actions = []
+
+    def _episode(deterministic):
+        obs = env.reset()
+        done = False
+        while not done:
+            started = time.perf_counter()
+            decision = agent.act(obs, deterministic=deterministic, grad=grad)
+            acted = time.perf_counter()
+            step = env.step(decision.action)
+            if stages is not None:
+                stages["act_s"] += acted - started
+                stages["step_s"] += time.perf_counter() - acted
+            actions.append(decision.action)
+            obs, done = step.observation, step.done
+
     for _ in range(TRAIN_EPISODES):
-        obs = env.reset()
-        done = False
-        while not done:
-            decision = agent.act(obs, grad=grad)
-            step = env.step(decision.action)
-            actions.append(decision.action)
-            obs, done = step.observation, step.done
+        _episode(False)
     for _ in range(EVAL_EPISODES):
-        obs = env.reset()
-        done = False
-        while not done:
-            decision = agent.act(obs, deterministic=True, grad=grad)
-            step = env.step(decision.action)
-            actions.append(decision.action)
-            obs, done = step.observation, step.done
+        _episode(True)
     return actions
 
 
@@ -265,10 +292,12 @@ def test_env_steps_throughput(benchmark):
                 obs, done = step.observation, step.done
 
             def fast_run():
+                stages = {"act_s": 0.0, "step_s": 0.0, "match_s": 0.0}
                 env = GraphRewriteEnv(graph, **ENV_KW)
                 agent = XRLflowAgent(**AGENT_KW, dtype=np.float32)
-                actions = _run_workload(env, agent, grad=False)
-                return actions, env
+                actions = _run_workload(env, agent, grad=False,
+                                        stages=stages)
+                return actions, env, agent, stages
 
             def fast64_run():
                 env = GraphRewriteEnv(graph, **ENV_KW)
@@ -277,30 +306,58 @@ def test_env_steps_throughput(benchmark):
                 return actions, env
 
             def eager_run():
+                stages = {"act_s": 0.0, "step_s": 0.0, "match_s": 0.0}
                 env = GraphRewriteEnv(graph, **ENV_KW, incremental=False)
                 agent = SeedAgent(**AGENT_KW)
                 with reference_kernels():
-                    actions = _run_workload(env, agent, grad=True)
-                return actions, env
+                    actions = _run_workload(env, agent, grad=True,
+                                            stages=stages)
+                return actions, env, stages
 
-            fast_s, (fast_actions, fast_env) = _best_of(fast_run)
+            fast_s, (fast_actions, fast_env, fast_agent, fast_stages) = \
+                _best_of(fast_run)
             fast64_s, (fast64_actions, _) = _best_of(fast64_run)
-            eager_s, (eager_actions, _) = _best_of(eager_run)
-            # Equivalence gate: in float64 the fast path must retrace the
-            # seed trajectory action-for-action.
+            eager_s, (eager_actions, _, eager_stages) = _best_of(eager_run)
+            # Equivalence gate #1: in float64 the fast path must retrace
+            # the seed trajectory action-for-action.
             assert fast64_actions == eager_actions, name
+
+            # Equivalence gate #2: one verified (untimed) episode — the
+            # delta GNN forward is checked bit-for-bit against the full
+            # encoder on every policy evaluation.  The recorded check
+            # count lets tools/check_bench.py refuse a run that skipped
+            # the gate.
+            verify_env = GraphRewriteEnv(graph, **ENV_KW)
+            verify_agent = XRLflowAgent(**AGENT_KW)
+            verify_agent.embedder.verify = True
+            obs = verify_env.reset()
+            done = False
+            while not done:
+                step = verify_env.step(verify_agent.act(obs).action)
+                obs, done = step.observation, step.done
+            embed_checks = verify_agent.embedder.equivalence_checks
+            assert embed_checks > 0, \
+                f"{name}: embedder equivalence gate never exercised"
+
             steps = len(eager_actions)
             stats = fast_env.encode_cache_stats()
-            rows.append((name, steps, fast_s, fast64_s, eager_s, stats))
+            stats.update(fast_env._candidate_engine.stats())
+            stats.update(fast_agent.embedder.stats())
+            stats.update(fast_agent._decision_cache.stats())
+            stats.update(flat_ids_cache_stats())
+            rows.append((name, steps, fast_s, fast64_s, eager_s, stats,
+                         fast_stages, eager_stages, embed_checks))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    for name, steps, fast_s, fast64_s, eager_s, stats in rows:
+    for (name, steps, fast_s, fast64_s, eager_s, stats, fast_stages,
+         eager_stages, embed_checks) in rows:
         speedup = eager_s / fast_s
         report.add(name, steps=float(steps),
                    fast_steps_per_s=steps / fast_s,
                    eager_steps_per_s=steps / eager_s,
                    speedup_x=speedup,
+                   act_speedup_x=eager_stages["act_s"] / fast_stages["act_s"],
                    obs_cache_hit=stats["observation_hit_rate"])
         payload[name] = {
             "steps": steps,
@@ -311,10 +368,32 @@ def test_env_steps_throughput(benchmark):
             "speedup_float64": eager_s / fast64_s,
             "observation_cache_hit_rate": stats["observation_hit_rate"],
             "encode_cache_hit_rate": stats["hit_rate"],
+            # Per-stage wall-clock (last repeat) and fast-vs-eager stage
+            # speedups: act = policy forward (delta GNN embed vs full
+            # meta-graph forward), step = env transition, match = rule
+            # matching inside step (incremental engine vs full scans).
+            "stages": {
+                "fast": fast_stages,
+                "eager": eager_stages,
+                "act_speedup":
+                    eager_stages["act_s"] / fast_stages["act_s"],
+                "step_speedup":
+                    eager_stages["step_s"] / fast_stages["step_s"],
+                "match_speedup":
+                    eager_stages["match_s"] / fast_stages["match_s"],
+            },
+            # Unified-LRU counters (repro.core.lru) for every hot-path
+            # cache touched by the fast run.
+            "lru": stats,
+            "equivalence": {
+                "trajectory_float64": "passed",
+                "embedder_checks": float(embed_checks),
+            },
         }
     print("\n" + report.to_text())
     _record("env_steps", payload)
-    for name, steps, fast_s, fast64_s, eager_s, stats in rows:
+    for (name, steps, fast_s, fast64_s, eager_s, stats, fast_stages,
+         eager_stages, embed_checks) in rows:
         assert eager_s / fast_s >= MIN_ENV_SPEEDUP, \
             (f"{name}: fast env loop only {eager_s / fast_s:.2f}x faster "
              f"(gate {MIN_ENV_SPEEDUP}x)")

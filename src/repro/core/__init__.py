@@ -1,12 +1,37 @@
-"""X-RLflow core: configuration, optimiser API and shape generalisation."""
+"""X-RLflow core: configuration, optimiser API and shape generalisation.
+
+The optimiser API (:class:`XRLflow`) and generalisation helpers sit at the
+top of the dependency graph — they import the RL stack, which imports the
+rewrite substrate, which in turn uses the low-level utilities in this
+package (:class:`LRUCache`).  Importing them eagerly here would make
+``repro.core.lru`` unimportable from below, so they are loaded lazily on
+first attribute access (PEP 562).
+"""
 
 from .config import PAPER_TABLE4, XRLflowConfig
-from .xrlflow import OptimisationResult, XRLflow
-from .generalise import (GeneralisationReport, ShapeVariant,
-                         evaluate_generalisation)
+from .lru import LRUCache
 
 __all__ = [
-    "PAPER_TABLE4", "XRLflowConfig",
+    "PAPER_TABLE4", "XRLflowConfig", "LRUCache",
     "OptimisationResult", "XRLflow",
     "GeneralisationReport", "ShapeVariant", "evaluate_generalisation",
 ]
+
+_LAZY = {
+    "OptimisationResult": "xrlflow",
+    "XRLflow": "xrlflow",
+    "GeneralisationReport": "generalise",
+    "ShapeVariant": "generalise",
+    "evaluate_generalisation": "generalise",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,140 @@
+"""A single capped LRU cache for every hot-path memo in the repo.
+
+Four subsystems used to hand-roll the same ``OrderedDict`` +
+``move_to_end`` + ``popitem(last=False)`` dance: the RL feature cache,
+the environment's observation cache, the agent's decision cache and the
+flat-ids caches inside ``nn/tensor.py``.  Each copy had its own counter
+names and its own eviction bugs waiting to happen.  This module is the
+one implementation they all share.
+
+Design notes
+------------
+* **Counters are part of the contract.**  ``hits`` / ``misses`` /
+  ``evictions`` are plain ints updated on every ``get``/``put``;
+  :meth:`LRUCache.stats` renders them in the shape BENCH_rl.json
+  records.  ``clear()`` drops the entries but keeps the counters — a
+  cache flush mid-benchmark must not erase the evidence of what
+  happened before it.
+* **Locking is the caller's problem, optionally delegated.**  Most
+  call sites are single-threaded; they pass no lock and pay nothing.
+  ``nn/tensor.py`` guards *compound* check-then-promote sequences with
+  its own module lock, so per-call locking here would be redundant —
+  but other callers (the service layer) can hand in a ``lock`` and get
+  every public method serialised.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import nullcontext
+from typing import Any, ContextManager, Dict, Hashable, Iterator, Optional
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Capped mapping with least-recently-used eviction and hit counters.
+
+    Parameters
+    ----------
+    max_entries:
+        Eviction threshold.  ``0`` disables caching entirely (every
+        ``put`` is a no-op and every ``get`` a miss); a negative value
+        means unbounded.
+    lock:
+        Optional lock (anything usable as a context manager, e.g.
+        ``threading.Lock``) wrapped around every public method.  When
+        ``None`` the cache is lock-free and the caller is responsible
+        for synchronisation.
+    name:
+        Label used as the key prefix in :meth:`stats` so several caches
+        can merge their counters into one flat benchmark payload.
+    """
+
+    __slots__ = ("max_entries", "name", "hits", "misses", "evictions",
+                 "_entries", "_lock")
+
+    def __init__(self, max_entries: int, lock: Optional[ContextManager] = None,
+                 name: str = ""):
+        self.max_entries = int(max_entries)
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock: ContextManager = lock if lock is not None else nullcontext()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used) or
+        ``default``; updates the hit/miss counters."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but touches neither recency nor counters."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the oldest entry if full."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.max_entries > 0:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return ``key`` without touching the counters."""
+        with self._lock:
+            return self._entries.pop(key, default)
+
+    def clear(self) -> None:
+        """Drop every entry; the counters survive (see module docstring)."""
+        with self._lock:
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counter dict, keys prefixed with ``<name>_`` when named."""
+        total = self.hits + self.misses
+        payload = {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": self.hits / total if total else 0.0,
+            "entries": float(len(self._entries)),
+        }
+        if self.name:
+            payload = {f"{self.name}_{key}": value
+                       for key, value in payload.items()}
+        return payload

@@ -112,8 +112,18 @@ class GATLayer(Module):
         h = self.transform(nodes)                       # [N, D]
         if batch.num_edges == 0:
             return (nodes + h.relu()) * 0.5
-        src_scores = h @ self.attn_src                  # [N, 1]
-        dst_scores = h @ self.attn_dst                  # [N, 1]
+        # Attention scores as an elementwise product + row reduction rather
+        # than ``h @ attn`` (a matvec): BLAS gemv accumulates with a
+        # different split per call than row-wise reduction, so matvec
+        # results are not row-consistent across subsets of ``h`` — which
+        # would make the incremental delta forward (recomputing only dirty
+        # rows) impossible to keep bit-for-bit equal to this full pass.
+        # ``(h * a).sum(axis=1)`` reduces each row independently, so any
+        # row subset reproduces the full result exactly.
+        src_scores = (h * self.attn_src.reshape(1, -1)).sum(
+            axis=1, keepdims=True)                      # [N, 1]
+        dst_scores = (h * self.attn_dst.reshape(1, -1)).sum(
+            axis=1, keepdims=True)                      # [N, 1]
         edge_logits = (src_scores.gather_rows(batch.edge_src) +
                        dst_scores.gather_rows(batch.edge_dst)).leaky_relu(0.2)
         alpha = segment_softmax(edge_logits, batch.edge_dst, batch.num_nodes)

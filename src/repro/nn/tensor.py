@@ -25,12 +25,13 @@ Three engine-level knobs matter for performance:
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..core.lru import LRUCache
 
 __all__ = ["Tensor", "as_tensor", "concat", "stack", "segment_sum",
            "segment_softmax", "segment_max", "no_grad", "is_grad_enabled",
@@ -115,14 +116,15 @@ def reference_kernels():
 #: ``id`` cannot be recycled while the entry lives; the guard below re-checks
 #: identity before trusting a hit.  Process-global (the service's thread
 #: backend runs concurrent searches), hence the lock.
-_FLAT_IDS_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_FLAT_IDS_CACHE = LRUCache(64, name="flat_ids")
 #: Index arrays seen exactly once; promoted to the cache on their second
 #: use.  One-shot gather indices (fresh per PPO minibatch) would otherwise
 #: churn the cache and pin large flat-index vectors for zero future hits;
 #: the durable arrays (a meta-graph's ``edge_dst``, reused many times per
-#: forward) are promoted almost immediately.
-_FLAT_IDS_SEEN: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-_FLAT_IDS_CACHE_SIZE = 64
+#: forward) are promoted almost immediately.  Neither cache takes its own
+#: lock: the check-then-promote sequences below are compound, so the one
+#: module lock guards both caches around each whole sequence.
+_FLAT_IDS_SEEN = LRUCache(64, name="flat_ids_seen")
 _FLAT_IDS_LOCK = threading.Lock()
 
 
@@ -157,26 +159,32 @@ def _scatter_add_rows(values: np.ndarray, index: np.ndarray,
         entry = _FLAT_IDS_CACHE.get(cache_key)
         if entry is not None and entry[0] is index:
             flat_ids = entry[1]
-            _FLAT_IDS_CACHE.move_to_end(cache_key)
         else:
+            if entry is not None:
+                # id() recycled by a new array; evict the stale mapping.
+                _FLAT_IDS_CACHE.pop(cache_key)
             entry = None
     if entry is None:
         flat_ids = (index[:, None] * cols
                     + np.arange(cols, dtype=np.int64)[None, :]).ravel()
         with _FLAT_IDS_LOCK:
-            if _FLAT_IDS_SEEN.get(cache_key) is index:
-                _FLAT_IDS_SEEN.pop(cache_key, None)
-                _FLAT_IDS_CACHE[cache_key] = (index, flat_ids)
-                if len(_FLAT_IDS_CACHE) > _FLAT_IDS_CACHE_SIZE:
-                    _FLAT_IDS_CACHE.popitem(last=False)
+            if _FLAT_IDS_SEEN.peek(cache_key) is index:
+                _FLAT_IDS_SEEN.pop(cache_key)
+                _FLAT_IDS_CACHE.put(cache_key, (index, flat_ids))
             else:
-                _FLAT_IDS_SEEN[cache_key] = index
-                if len(_FLAT_IDS_SEEN) > _FLAT_IDS_CACHE_SIZE:
-                    _FLAT_IDS_SEEN.popitem(last=False)
+                _FLAT_IDS_SEEN.put(cache_key, index)
     out = np.bincount(flat_ids, weights=flat.ravel(),
                       minlength=num_rows * cols)
     return out.reshape((num_rows,) + values.shape[1:]).astype(
         values.dtype, copy=False)
+
+
+def flat_ids_cache_stats() -> dict:
+    """Counters of the process-global flat-index caches (for benchmarks)."""
+    with _FLAT_IDS_LOCK:
+        stats = _FLAT_IDS_CACHE.stats()
+        stats.update(_FLAT_IDS_SEEN.stats())
+    return stats
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:

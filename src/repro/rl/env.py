@@ -11,18 +11,20 @@ on the intermediate steps to keep the agent exploring).
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core.lru import LRUCache
 from ..cost.e2e import E2ESimulator
 from ..ir.graph import Graph
 from ..rules.base import Candidate, RuleSet
+from ..rules.incremental import IncrementalCandidateEngine
 from ..rules.rulesets import default_ruleset
 from ..nn.gnn import BatchedGraphs
-from .features import FeatureCache, build_meta_graph
+from .features import FeatureCache, LazyMetaGraph, build_meta_graph
 
 __all__ = ["Observation", "StepResult", "GraphRewriteEnv"]
 
@@ -49,6 +51,11 @@ class Observation:
     action_mask: np.ndarray
     #: The candidates backing each valid action index.
     candidates: List[Candidate] = field(default_factory=list)
+    #: The graphs behind the meta-graph rows (current graph first), in
+    #: meta-graph order.  Set on the incremental path only; it lets the
+    #: agent's :class:`~repro.rl.embed.IncrementalEmbedder` re-embed just
+    #: each graph's delta instead of running the encoder over the batch.
+    graphs: Optional[List[Graph]] = None
 
     @property
     def num_actions(self) -> int:
@@ -101,6 +108,12 @@ class GraphRewriteEnv:
         if feature_cache is None and self.incremental:
             feature_cache = FeatureCache()
         self.feature_cache = feature_cache
+        #: Incremental match maintenance: candidate sets are reconciled
+        #: against each step's ``GraphDelta`` instead of re-matching the
+        #: whole graph (the eager path remains the equivalence oracle).
+        self._candidate_engine = (
+            IncrementalCandidateEngine(self.ruleset)
+            if self.incremental else None)
         #: Whole observations (candidates, mask, meta-graph) memoised per
         #: current-graph structural hash.  The environment's dynamics are
         #: deterministic given the ruleset, so a re-visited state — the next
@@ -109,9 +122,7 @@ class GraphRewriteEnv:
         #: no candidate materialisation, no encoding.  One hash per step
         #: (memoised on the graph object) instead of one per candidate.
         self.max_cached_observations = int(max_cached_observations)
-        self._obs_cache: "OrderedDict[str, Observation]" = OrderedDict()
-        self._obs_hits = 0
-        self._obs_misses = 0
+        self._obs_cache = LRUCache(max_cached_observations, name="observation")
         #: Optional ``f(step, best_latency_ms, best_graph_fp)`` invoked
         #: after every environment step — the hook long RL searches use to
         #: stream partial best-so-far graphs (see repro.service.events).
@@ -236,23 +247,25 @@ class GraphRewriteEnv:
             key = self.current_graph.structural_hash()
             cached = self._obs_cache.get(key)
             if cached is not None:
-                self._obs_cache.move_to_end(key)
-                self._obs_hits += 1
                 self._last_observation = cached
                 return cached
-            self._obs_misses += 1
         candidates = self._select_candidates()
         mask = np.zeros(self.action_space_size, dtype=bool)
         mask[: len(candidates)] = True
         mask[-1] = True  # No-Op is always available
-        meta = build_meta_graph(
-            [self.current_graph] + [c.graph for c in candidates],
-            cache=self.feature_cache, incremental=self.incremental)
-        obs = Observation(meta_graph=meta, action_mask=mask, candidates=candidates)
+        graphs = [self.current_graph] + [c.graph for c in candidates]
+        if self.incremental:
+            # Rollouts act through the delta embedder and never read the
+            # meta batch; defer its (expensive) assembly until a consumer —
+            # PPO's update, a gradient forward — actually touches it.
+            meta = LazyMetaGraph(graphs, cache=self.feature_cache)
+        else:
+            meta = build_meta_graph(graphs, incremental=False)
+        obs = Observation(
+            meta_graph=meta, action_mask=mask, candidates=candidates,
+            graphs=graphs if self.incremental else None)
         if self.incremental and self.max_cached_observations > 0:
-            self._obs_cache[key] = obs
-            if len(self._obs_cache) > self.max_cached_observations:
-                self._obs_cache.popitem(last=False)
+            self._obs_cache.put(key, obs)
         self._last_observation = obs
         return obs
 
@@ -262,10 +275,7 @@ class GraphRewriteEnv:
         if self.feature_cache is None:
             return {}
         stats = self.feature_cache.stats()
-        total = self._obs_hits + self._obs_misses
-        stats["observation_hits"] = float(self._obs_hits)
-        stats["observation_misses"] = float(self._obs_misses)
-        stats["observation_hit_rate"] = self._obs_hits / total if total else 0.0
+        stats.update(self._obs_cache.stats())
         return stats
 
     def _select_candidates(self) -> List[Candidate]:
@@ -281,7 +291,10 @@ class GraphRewriteEnv:
         case.  Matches that fail to apply are dropped and their slot is
         backfilled from the same rule.
         """
-        lazy = self.ruleset.lazy_candidates(self.current_graph)
+        if self._candidate_engine is not None:
+            lazy = self._candidate_engine.lazy_candidates(self.current_graph)
+        else:
+            lazy = self.ruleset.lazy_candidates(self.current_graph)
         if len(lazy) <= self.max_candidates:
             return [c for c in lazy if c.materialise() is not None]
 

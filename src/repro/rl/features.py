@@ -36,17 +36,18 @@ identical arrays.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.lru import LRUCache
 from ..ir.graph import Graph
 from ..ir.ops import num_op_types, op_index
 from ..nn.gnn import BatchedGraphs
 
-__all__ = ["GraphFeatures", "FeatureCache", "encode_graph", "build_meta_graph",
+__all__ = ["GraphFeatures", "FeatureCache", "encode_graph", "encode_order",
+           "build_meta_graph", "LazyMetaGraph",
            "combine_meta_graphs", "NODE_FEATURE_DIM", "EDGE_FEATURE_DIM",
            "GLOBAL_FEATURE_DIM"]
 
@@ -82,13 +83,29 @@ class GraphFeatures:
         return int(self.edge_src.shape[0])
 
 
+def encode_order(graph: Graph) -> np.ndarray:
+    """The row order feature arrays use: live node ids, ascending.
+
+    Any deterministic order works for the GNN — message passing treats rows
+    symmetrically and per-graph pooling is bucketed — it only has to be
+    *the same* order everywhere features, meta batches and the delta
+    embedder meet.  Sorted ids win over the previous topological order
+    because they are derived with two C-speed array ops instead of a
+    Python Kahn traversal, which dominated per-candidate encoding cost.
+    Memoised on the graph (dropped on mutation, carried across ``copy``).
+    """
+    return graph.memo("rl:order", lambda: np.sort(
+        np.fromiter(graph.nodes.keys(), dtype=np.int64,
+                    count=len(graph.nodes))))
+
+
 def _encode_graph_reference(graph: Graph, edge_norm: float) -> GraphFeatures:
     """The original one-shot encoder: Python loops over every node and edge.
 
     Kept as the eager baseline for benchmarks and as the reference the
     incremental encoder is checked against bit-for-bit.
     """
-    order = graph.topological_order()
+    order = sorted(graph.nodes)
     index = {nid: i for i, nid in enumerate(order)}
     n = len(order)
 
@@ -134,10 +151,10 @@ def encode_graph(graph: Graph, edge_norm: float = DEFAULT_EDGE_NORM,
     if not incremental:
         return _encode_graph_reference(graph, edge_norm)
 
-    order = graph.topological_order()
+    order_arr = encode_order(graph)
+    order = order_arr.tolist()
     n = len(order)
     nodes = graph.nodes
-    order_arr = np.asarray(order, dtype=np.int64)
 
     # One-hot node rows via fancy indexing (no per-node Python writes): the
     # graph maintains an id-indexed op table incrementally across rewrites.
@@ -170,7 +187,7 @@ def encode_graph(graph: Graph, edge_norm: float = DEFAULT_EDGE_NORM,
             dst_counts[i] = srcs.shape[0]
 
     if src_blocks:
-        # Node-id -> topological-position lookup as a dense array (ids are
+        # Node-id -> row-position lookup as a dense array (ids are
         # monotonic, so `id_bound` bounds the table size).
         position = np.empty(graph.id_bound, dtype=np.int64)
         position[order_arr] = np.arange(n, dtype=np.int64)
@@ -199,9 +216,13 @@ class FeatureCache:
                  edge_norm: float = DEFAULT_EDGE_NORM):
         self.max_entries = int(max_entries)
         self.edge_norm = float(edge_norm)
-        self._entries: "OrderedDict[str, GraphFeatures]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._entries = LRUCache(max_entries, name="feature")
+        #: Hits served by the graph's own whole-graph memo (tier one);
+        #: the LRU tracks its own hits/misses (tier two).
+        self._memo_hits = 0
+        #: Encodes of graphs with no memoised hash: they never consult the
+        #: LRU, so its miss counter does not see them.
+        self._keyless_misses = 0
 
     def encode(self, graph: Graph) -> GraphFeatures:
         """Encode ``graph``, reusing the cached arrays when seen before.
@@ -221,7 +242,7 @@ class FeatureCache:
         memo_key = ("rl:features", self.edge_norm)
         feats = graph.memo_peek(memo_key)
         if feats is not None:
-            self.hits += 1
+            self._memo_hits += 1
             return feats
         return graph.memo(memo_key, lambda: self._encode_uncached(graph))
 
@@ -231,19 +252,24 @@ class FeatureCache:
         if key is not None:
             feats = self._entries.get(key)
             if feats is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
                 return feats
-        self.misses += 1
+        else:
+            self._keyless_misses += 1
         feats = encode_graph(graph, self.edge_norm)
         if key is not None:
-            self._entries[key] = feats
-            if len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._entries.put(key, feats)
         return feats
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._memo_hits + self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses + self._keyless_misses
 
     @property
     def hit_rate(self) -> float:
@@ -253,12 +279,14 @@ class FeatureCache:
     def stats(self) -> Dict[str, float]:
         """Counters for benchmark / service reporting."""
         return {"hits": float(self.hits), "misses": float(self.misses),
-                "hit_rate": self.hit_rate, "entries": float(len(self._entries))}
+                "hit_rate": self.hit_rate, "entries": float(len(self._entries)),
+                "evictions": float(self._entries.evictions)}
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        self._entries.reset_stats()
+        self._memo_hits = 0
+        self._keyless_misses = 0
 
 
 def build_meta_graph(graphs: Sequence[Graph],
@@ -291,6 +319,42 @@ def build_meta_graph(graphs: Sequence[Graph],
         num_graphs=len(feats_list),
         global_features=np.zeros((len(feats_list), GLOBAL_FEATURE_DIM)),
     )
+
+
+class LazyMetaGraph:
+    """A :class:`BatchedGraphs` that assembles itself on first use.
+
+    On the incremental path the rollout loop never reads the meta batch:
+    action selection runs through the delta embedder
+    (:class:`~repro.rl.embed.IncrementalEmbedder`), which works off
+    per-graph structure.  Materialising the batch eagerly would encode
+    every candidate each step just in case — the single largest cost on
+    small graphs.  This proxy defers :func:`build_meta_graph` until some
+    consumer (PPO's batched update, a gradient forward, verify mode)
+    actually touches an attribute, then memoises the result for the
+    observation's lifetime, so training epochs still pay for assembly only
+    once per observation.
+    """
+
+    __slots__ = ("_graphs", "_cache", "_built")
+
+    def __init__(self, graphs: Sequence[Graph],
+                 cache: Optional[FeatureCache] = None):
+        self._graphs = list(graphs)
+        self._cache = cache
+        self._built: Optional[BatchedGraphs] = None
+
+    def materialise(self) -> BatchedGraphs:
+        if self._built is None:
+            self._built = build_meta_graph(self._graphs, cache=self._cache)
+        return self._built
+
+    @property
+    def is_materialised(self) -> bool:
+        return self._built is not None
+
+    def __getattr__(self, name):
+        return getattr(self.materialise(), name)
 
 
 def combine_meta_graphs(batches: Sequence[BatchedGraphs]

