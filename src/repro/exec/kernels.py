@@ -1,0 +1,385 @@
+"""Per-operator numpy kernels for the reference executor.
+
+One kernel per :class:`~repro.ir.ops.OpType`, collected in the
+:data:`KERNELS` dispatch table (the same structure ngraph's
+``NumPyTransformer`` uses: op type -> python callable).  Every kernel has
+the signature ``fn(in_vals, attrs, out_shapes) -> [out_0, out_1, ...]``
+where ``in_vals`` are the input arrays in slot order, ``attrs`` is the
+node's attribute mapping, and ``out_shapes`` are the *declared* output
+shapes from shape inference — kernels that need the output size to pick
+their padding (convolutions, pools) read it from there, exactly as the
+reference interpreter does.
+
+The numerical semantics deliberately mirror
+:mod:`repro.rules.interpreter` (guarded DIV, ``sqrt(|x|)``, tanh-GELU,
+inference-mode BatchNorm, clipped embedding indices, ...) so the two
+backends can be differentially tested against each other; the kernels
+here are vectorised (im2col convolutions, strided-window pools) where the
+interpreter uses reference loops.
+
+Everything is pure numpy + stdlib: :func:`erf` wraps :func:`math.erf`
+instead of pulling in scipy, which the CI image does not install.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..ir.ops import OP_REGISTRY, OpType, SOURCE_OPS
+
+__all__ = ["KERNELS", "Kernel", "erf", "uncovered_ops"]
+
+#: ``fn(in_vals, attrs, out_shapes) -> [out_0, ...]`` — one value per
+#: declared output slot.
+Kernel = Callable[
+    [List[np.ndarray], Mapping[str, object], List[Tuple[int, ...]]],
+    List[np.ndarray],
+]
+
+#: Gauss error function on arrays, double precision, no scipy.
+erf = np.vectorize(math.erf, otypes=[np.float64])
+
+KERNELS: Dict[OpType, Kernel] = {}
+
+
+def _register(op_type: OpType):
+    def wrap(fn: Kernel) -> Kernel:
+        KERNELS[op_type] = fn
+        return fn
+    return wrap
+
+
+def uncovered_ops(kernels: Mapping[OpType, Kernel] = None) -> List[OpType]:
+    """Registry operators with neither a kernel nor source materialisation.
+
+    The executor materialises :data:`~repro.ir.ops.SOURCE_OPS` itself, so
+    coverage means: every other registry op has a dispatch entry.  Ops
+    returned here run through the counted pass-through fallback.
+    """
+    table = KERNELS if kernels is None else kernels
+    return [op for op in OP_REGISTRY
+            if op not in SOURCE_OPS and op not in table]
+
+
+# ---------------------------------------------------------------------------
+# Identity-ish plumbing
+# ---------------------------------------------------------------------------
+
+@_register(OpType.OUTPUT)
+def _output(in_vals, attrs, out_shapes):
+    return [in_vals[0]]
+
+
+@_register(OpType.NOOP)
+def _noop(in_vals, attrs, out_shapes):
+    return [np.zeros(())]
+
+
+def _identity(in_vals, attrs, out_shapes):
+    return [in_vals[0]]
+
+
+for _op in (OpType.IDENTITY, OpType.CAST, OpType.DROPOUT):
+    KERNELS[_op] = _identity
+
+
+# ---------------------------------------------------------------------------
+# Dense linear algebra
+# ---------------------------------------------------------------------------
+
+@_register(OpType.MATMUL)
+def _matmul(in_vals, attrs, out_shapes):
+    return [np.matmul(in_vals[0], in_vals[1])]
+
+
+KERNELS[OpType.BATCH_MATMUL] = KERNELS[OpType.MATMUL]
+
+
+@_register(OpType.FUSED_MATMUL_ADD)
+def _fused_matmul_add(in_vals, attrs, out_shapes):
+    return [np.matmul(in_vals[0], in_vals[1]) + in_vals[2]]
+
+
+# ---------------------------------------------------------------------------
+# Elementwise
+# ---------------------------------------------------------------------------
+
+_BINARY = {
+    OpType.ADD: lambda a, b: a + b,
+    OpType.SUB: lambda a, b: a - b,
+    OpType.MUL: lambda a, b: a * b,
+    # Guarded like the interpreter so random denominators never divide by 0.
+    OpType.DIV: lambda a, b: a / (b + 1e-12),
+}
+
+_UNARY = {
+    OpType.RELU: lambda x: np.maximum(x, 0.0),
+    OpType.GELU: lambda x: 0.5 * x * (
+        1.0 + np.tanh(np.sqrt(2 / np.pi) * (x + 0.044715 * x ** 3))),
+    OpType.SIGMOID: lambda x: 1.0 / (1.0 + np.exp(-x)),
+    OpType.TANH: np.tanh,
+    OpType.EXP: np.exp,
+    OpType.SQRT: lambda x: np.sqrt(np.abs(x)),
+    OpType.ERF: erf,
+}
+
+for _op, _fn in _BINARY.items():
+    KERNELS[_op] = (lambda fn: lambda v, a, s: [fn(v[0], v[1])])(_fn)
+for _op, _fn in _UNARY.items():
+    KERNELS[_op] = (lambda fn: lambda v, a, s: [fn(v[0])])(_fn)
+
+
+# ---------------------------------------------------------------------------
+# Normalisation
+# ---------------------------------------------------------------------------
+
+@_register(OpType.SOFTMAX)
+def _softmax(in_vals, attrs, out_shapes):
+    axis = int(attrs.get("axis", -1))
+    x = in_vals[0] - in_vals[0].max(axis=axis, keepdims=True)
+    e = np.exp(x)
+    return [e / e.sum(axis=axis, keepdims=True)]
+
+
+@_register(OpType.BATCHNORM)
+def _batchnorm(in_vals, attrs, out_shapes):
+    # Inference-mode affine transform along the channel axis.
+    x = in_vals[0]
+    scale = in_vals[1] if len(in_vals) > 1 else np.ones(x.shape[1])
+    bias = in_vals[2] if len(in_vals) > 2 else np.zeros(x.shape[1])
+    view = (1, -1) + (1,) * (x.ndim - 2)
+    return [x * scale.reshape(view) + bias.reshape(view)]
+
+
+@_register(OpType.LAYERNORM)
+def _layernorm(in_vals, attrs, out_shapes):
+    x = in_vals[0]
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + 1e-5)
+    if len(in_vals) > 1:
+        normed = normed * in_vals[1]
+    if len(in_vals) > 2:
+        normed = normed + in_vals[2]
+    return [normed]
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+@_register(OpType.RESHAPE)
+def _reshape(in_vals, attrs, out_shapes):
+    return [in_vals[0].reshape(tuple(attrs["shape"]))]
+
+
+@_register(OpType.TRANSPOSE)
+def _transpose(in_vals, attrs, out_shapes):
+    return [np.transpose(in_vals[0], attrs.get("perm"))]
+
+
+@_register(OpType.CONCAT)
+def _concat(in_vals, attrs, out_shapes):
+    return [np.concatenate(in_vals, axis=int(attrs.get("axis", 0)))]
+
+
+@_register(OpType.SPLIT)
+def _split(in_vals, attrs, out_shapes):
+    parts = int(attrs.get("parts", 2))
+    axis = int(attrs.get("axis", 0))
+    return list(np.split(in_vals[0], parts, axis=axis))
+
+
+@_register(OpType.SLICE)
+def _slice(in_vals, attrs, out_shapes):
+    axis = int(attrs.get("axis", 0))
+    start, end = int(attrs.get("start", 0)), attrs.get("end")
+    index = [slice(None)] * in_vals[0].ndim
+    index[axis] = slice(start, None if end is None else int(end))
+    return [in_vals[0][tuple(index)]]
+
+
+@_register(OpType.SQUEEZE)
+def _squeeze(in_vals, attrs, out_shapes):
+    return [np.squeeze(in_vals[0], axis=int(attrs.get("axis", 0)))]
+
+
+@_register(OpType.UNSQUEEZE)
+def _unsqueeze(in_vals, attrs, out_shapes):
+    return [np.expand_dims(in_vals[0], axis=int(attrs.get("axis", 0)))]
+
+
+@_register(OpType.FLATTEN)
+def _flatten(in_vals, attrs, out_shapes):
+    x = in_vals[0]
+    return [x.reshape(x.shape[0], -1)]
+
+
+@_register(OpType.PAD)
+def _pad(in_vals, attrs, out_shapes):
+    pads = attrs.get("pads")
+    if not pads:
+        return [in_vals[0]]
+    width = [(pads[2 * i], pads[2 * i + 1]) for i in range(in_vals[0].ndim)]
+    return [np.pad(in_vals[0], width)]
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+_REDUCERS = {OpType.REDUCE_SUM: np.sum, OpType.REDUCE_MEAN: np.mean,
+             OpType.REDUCE_MAX: np.max}
+
+
+def _make_reduce(fn):
+    def _reduce(in_vals, attrs, out_shapes):
+        axis = int(attrs.get("axis", -1))
+        keep = bool(attrs.get("keepdims", False))
+        return [fn(in_vals[0], axis=axis, keepdims=keep)]
+    return _reduce
+
+
+for _op, _fn in _REDUCERS.items():
+    KERNELS[_op] = _make_reduce(_fn)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+def _pool(in_vals, attrs, out_shapes, reducer):
+    x = in_vals[0]
+    kernel = int(attrs.get("kernel", 2))
+    stride = int(attrs.get("stride", kernel))
+    n, c, oh, ow = out_shapes[0]
+    # "same" pools keep edge windows partial (mean/max over the elements
+    # actually present); NaN-padding + nan-reductions reproduces that.
+    need_h = (oh - 1) * stride + kernel
+    need_w = (ow - 1) * stride + kernel
+    pad_h = max(need_h - x.shape[2], 0)
+    pad_w = max(need_w - x.shape[3], 0)
+    if pad_h or pad_w:
+        x = np.pad(x, ((0, 0), (0, 0), (0, pad_h), (0, pad_w)),
+                   constant_values=np.nan)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride][:, :, :oh, :ow]
+    return [reducer(windows, axis=(4, 5))]
+
+
+@_register(OpType.MAXPOOL2D)
+def _maxpool(in_vals, attrs, out_shapes):
+    return _pool(in_vals, attrs, out_shapes, np.nanmax)
+
+
+@_register(OpType.AVGPOOL2D)
+def _avgpool(in_vals, attrs, out_shapes):
+    return _pool(in_vals, attrs, out_shapes, np.nanmean)
+
+
+@_register(OpType.GLOBAL_AVGPOOL)
+def _global_avgpool(in_vals, attrs, out_shapes):
+    return [in_vals[0].mean(axis=(2, 3))]
+
+
+# ---------------------------------------------------------------------------
+# Convolutions (im2col)
+# ---------------------------------------------------------------------------
+
+def _conv(in_vals, attrs, out_shapes, groups=None, epilogue_bn=False,
+          epilogue_relu=False):
+    x, w = in_vals[0], in_vals[1]
+    n, c_out, oh, ow = out_shapes[0]
+    stride = int(attrs.get("stride", 1))
+    kh, kw = w.shape[2], w.shape[3]
+    if groups is None:
+        groups = int(attrs.get("groups", 1))
+    if attrs.get("padding", "same") == "same":
+        pad_h = max((oh - 1) * stride + kh - x.shape[2], 0)
+        pad_w = max((ow - 1) * stride + kw - x.shape[3], 0)
+        x = np.pad(x, ((0, 0), (0, 0),
+                       (pad_h // 2, pad_h - pad_h // 2),
+                       (pad_w // 2, pad_w - pad_w // 2)))
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride][:, :, :oh, :ow]
+    cin_g = x.shape[1] // groups
+    cout_g = c_out // groups
+    out = np.empty((n, c_out, oh, ow), dtype=np.float64)
+    for g in range(groups):
+        # (n, cin_g, oh, ow, kh, kw) -> (n, oh, ow, cin_g*kh*kw) @ im2col'd
+        # weights: one GEMM per group.
+        patches = windows[:, g * cin_g:(g + 1) * cin_g]
+        patches = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
+            n, oh, ow, cin_g * kh * kw)
+        wg = w[g * cout_g:(g + 1) * cout_g].reshape(cout_g, -1)
+        out[:, g * cout_g:(g + 1) * cout_g] = (
+            patches @ wg.T).transpose(0, 3, 1, 2)
+    if epilogue_bn and len(in_vals) > 2:
+        out = out * in_vals[2].reshape(1, -1, 1, 1)
+        if len(in_vals) > 3:
+            out = out + in_vals[3].reshape(1, -1, 1, 1)
+    if epilogue_relu:
+        out = np.maximum(out, 0.0)
+    return [out]
+
+
+@_register(OpType.CONV2D)
+def _conv2d(in_vals, attrs, out_shapes):
+    return _conv(in_vals, attrs, out_shapes)
+
+
+KERNELS[OpType.ENLARGE_CONV] = KERNELS[OpType.CONV2D]
+
+
+@_register(OpType.GROUP_CONV2D)
+def _group_conv2d(in_vals, attrs, out_shapes):
+    return _conv(in_vals, attrs, out_shapes)
+
+
+@_register(OpType.DEPTHWISE_CONV2D)
+def _depthwise_conv2d(in_vals, attrs, out_shapes):
+    return _conv(in_vals, attrs, out_shapes, groups=in_vals[0].shape[1])
+
+
+@_register(OpType.FUSED_CONV_BN)
+def _fused_conv_bn(in_vals, attrs, out_shapes):
+    return _conv(in_vals, attrs, out_shapes, epilogue_bn=True)
+
+
+@_register(OpType.FUSED_CONV_RELU)
+def _fused_conv_relu(in_vals, attrs, out_shapes):
+    return _conv(in_vals, attrs, out_shapes, epilogue_relu=True)
+
+
+@_register(OpType.FUSED_CONV_BN_RELU)
+def _fused_conv_bn_relu(in_vals, attrs, out_shapes):
+    return _conv(in_vals, attrs, out_shapes, epilogue_bn=True,
+                 epilogue_relu=True)
+
+
+# ---------------------------------------------------------------------------
+# Lookups
+# ---------------------------------------------------------------------------
+
+@_register(OpType.EMBEDDING)
+def _embedding(in_vals, attrs, out_shapes):
+    # Any float tensor works as indices: |x| rounded into the table.
+    table, indices = in_vals[0], in_vals[1]
+    idx = np.clip(np.abs(indices).astype(int), 0, table.shape[0] - 1)
+    return [table[idx]]
+
+
+@_register(OpType.GATHER)
+def _gather(in_vals, attrs, out_shapes):
+    # Shape inference declares [*table, axis -> indices.num_elements]:
+    # gather along ``axis`` with the indices flattened.
+    table, indices = in_vals[0], in_vals[1]
+    axis = int(attrs.get("axis", 0)) % table.ndim
+    idx = np.clip(np.abs(indices).astype(int).reshape(-1),
+                  0, table.shape[axis] - 1)
+    return [np.take(table, idx, axis=axis)]

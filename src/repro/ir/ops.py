@@ -264,8 +264,18 @@ def _matmul_output(a: TensorSpec, b: TensorSpec) -> TensorSpec:
         raise ValueError(f"matmul requires rank>=2 inputs, got {ad} x {bd}")
     if ad[-1] != bd[-2]:
         raise ValueError(f"matmul inner-dim mismatch: {ad} x {bd}")
-    batch = ad[:-2] if len(ad) >= len(bd) else bd[:-2]
-    return TensorSpec(TensorShape(batch + (ad[-2], bd[-1])), a.dtype)
+    # Batch dims broadcast elementwise (numpy semantics), not "whichever
+    # operand has more of them" — the executor surfaced the difference.
+    abatch, bbatch = ad[:-2], bd[:-2]
+    rank = max(len(abatch), len(bbatch))
+    abatch = (1,) * (rank - len(abatch)) + abatch
+    bbatch = (1,) * (rank - len(bbatch)) + bbatch
+    batch = []
+    for x, y in zip(abatch, bbatch):
+        if x != y and x != 1 and y != 1:
+            raise ValueError(f"matmul batch-dim mismatch: {ad} x {bd}")
+        batch.append(max(x, y))
+    return TensorSpec(TensorShape(tuple(batch) + (ad[-2], bd[-1])), a.dtype)
 
 
 def _broadcast_output(a: TensorSpec, b: TensorSpec) -> TensorSpec:
@@ -452,8 +462,10 @@ def _infer_output_spec(
         if keepdims:
             dims[axis] = 1
         else:
+            # Reducing the only axis yields a scalar — the executed shape
+            # is () (numpy drops the axis), not (1,).
             dims.pop(axis)
-        return inputs[0].with_shape(dims or (1,))
+        return inputs[0].with_shape(dims)
 
     if op_type in (OpType.EMBEDDING, OpType.GATHER):
         # indices [..., L] gathering rows of a [V, D] table

@@ -90,10 +90,25 @@ class GraphRewriteEnv:
                      Callable[[int, float, str], None]] = None,
                  incremental: bool = True,
                  feature_cache: Optional[FeatureCache] = None,
-                 max_cached_observations: int = 512):
+                 max_cached_observations: int = 512,
+                 cost_source: str = "simulated",
+                 executor: Optional[object] = None):
         self.initial_graph = graph
         self.ruleset = ruleset or default_ruleset()
         self.e2e = e2e or E2ESimulator(seed=seed)
+        #: ``cost_source="measured"`` swaps the reward signal from the
+        #: analytic simulator to executed numpy wall-clock (see
+        #: ``docs/rl.md``): every ``latency_ms`` the reward path asks for
+        #: is then a real measurement.  Rewards become host-noise-coupled,
+        #: which is exactly the trade-off hardware-in-the-loop RL makes.
+        self.cost_source = str(cost_source)
+        if self.cost_source == "measured":
+            from ..exec import MeasuredLatency, NumpyExecutor
+            self.e2e = (executor if hasattr(executor, "latency_ms")
+                        else MeasuredLatency(executor or NumpyExecutor()))
+        elif self.cost_source != "simulated":
+            raise ValueError(f"unknown cost_source {cost_source!r} "
+                             f"(use 'simulated' or 'measured')")
         self.feedback_interval = int(feedback_interval)
         self.step_reward = float(step_reward)
         self.max_candidates = int(max_candidates)

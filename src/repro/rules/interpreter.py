@@ -105,7 +105,8 @@ class GraphInterpreter:
         if op is OpType.SQRT:
             return [np.sqrt(np.abs(in_vals[0]))]
         if op is OpType.ERF:
-            from scipy.special import erf
+            # Pure numpy/stdlib erf (the CI image has no scipy).
+            from ..exec.kernels import erf
             return [erf(in_vals[0])]
         if op in (OpType.IDENTITY, OpType.CAST, OpType.DROPOUT):
             return [in_vals[0]]
@@ -181,10 +182,18 @@ class GraphInterpreter:
             out = self._eval_conv(op, in_vals, attrs, shape)
             return [out]
 
-        if op in (OpType.EMBEDDING, OpType.GATHER):
+        if op is OpType.EMBEDDING:
             table, indices = in_vals[0], in_vals[1]
             idx = np.clip(np.abs(indices).astype(int), 0, table.shape[0] - 1)
             return [table[idx]]
+        if op is OpType.GATHER:
+            # Matches shape inference: gather along ``axis`` with the
+            # indices flattened ([*table, axis -> indices.num_elements]).
+            table, indices = in_vals[0], in_vals[1]
+            axis = int(attrs.get("axis", 0)) % table.ndim
+            idx = np.clip(np.abs(indices).astype(int).reshape(-1),
+                          0, table.shape[axis] - 1)
+            return [np.take(table, idx, axis=axis)]
 
         raise NotImplementedError(f"interpreter missing op {op.value}")
 

@@ -21,7 +21,7 @@ from ..ir.graph import Graph, NodeId
 from ..ir.ops import OpType
 from .base import Match, RewriteRule, RuleSet, eliminate_dead_nodes, replace_all_uses
 
-__all__ = ["default_ruleset", "DEFAULT_RULE_CLASSES"]
+__all__ = ["default_ruleset", "exact_ruleset", "DEFAULT_RULE_CLASSES"]
 
 
 def _single_consumer(graph: Graph, nid: NodeId) -> Optional[NodeId]:
@@ -674,3 +674,16 @@ DEFAULT_RULE_CLASSES = [
 def default_ruleset() -> RuleSet:
     """The curated rule set used by all optimisers in this repository."""
     return RuleSet([cls() for cls in DEFAULT_RULE_CLASSES])
+
+
+def exact_ruleset() -> RuleSet:
+    """The curated rules that are *exactly* equivalent.
+
+    Drops rules flagged ``exactly_equivalent=False`` (EnlargeConv
+    fabricates a fresh weight tensor, so its output values are not
+    preserved under deterministic materialisation).  This is the rule set
+    the executor-backed differential harness runs the optimisers under
+    when asserting value equivalence, not just shape equivalence.
+    """
+    return RuleSet([rule for rule in (cls() for cls in DEFAULT_RULE_CLASSES)
+                    if rule.exactly_equivalent])

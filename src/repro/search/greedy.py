@@ -24,7 +24,7 @@ from ..ir.graph import Graph
 from ..rules.base import RuleSet
 from ..rules.incremental import IncrementalCandidateEngine
 from ..rules.rulesets import default_ruleset
-from .result import SearchResult, timed
+from .result import SearchResult, resolve_latency_source, timed
 
 __all__ = ["TASOOptimizer", "GreedyOptimizer"]
 
@@ -68,6 +68,15 @@ class TASOOptimizer:
         per queue pop with the running best cost-model estimate and the
         structural hash of the best graph; the serving layer uses it to
         stream job progress (see :mod:`repro.service.events`).
+    cost_source:
+        Where the *reported* initial/final latencies come from:
+        ``"simulated"`` (default) asks the end-to-end simulator,
+        ``"measured"`` executes the graphs with the numpy backend and
+        reports wall-clock (see :class:`repro.exec.MeasuredLatency`).
+        The search objective itself stays the TASO cost model either way.
+    executor:
+        Executor backing ``cost_source="measured"`` (a fresh
+        :class:`~repro.exec.NumpyExecutor` when omitted).
     """
 
     name = "taso"
@@ -83,7 +92,9 @@ class TASOOptimizer:
                  max_iterations: int = 100,
                  queue_capacity: int = 200,
                  incremental: bool = True,
-                 progress_callback: Optional[ProgressCallback] = None):
+                 progress_callback: Optional[ProgressCallback] = None,
+                 cost_source: str = "simulated",
+                 executor: Optional[object] = None):
         self.ruleset = ruleset or default_ruleset()
         self.cost_model = cost_model or CostModel()
         self.e2e = e2e or E2ESimulator()
@@ -92,6 +103,9 @@ class TASOOptimizer:
         self.queue_capacity = int(queue_capacity)
         self.incremental = bool(incremental)
         self.progress_callback = progress_callback
+        self.cost_source = str(cost_source)
+        self.latency_source = resolve_latency_source(
+            self.cost_source, self.e2e, executor)
 
     # ------------------------------------------------------------------
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
@@ -184,8 +198,8 @@ class TASOOptimizer:
                 model=model_name or graph.name,
                 initial_graph=graph,
                 final_graph=best_graph,
-                initial_latency_ms=self.e2e.latency_ms(graph),
-                final_latency_ms=self.e2e.latency_ms(best_graph),
+                initial_latency_ms=self.latency_source.latency_ms(graph),
+                final_latency_ms=self.latency_source.latency_ms(best_graph),
                 initial_cost_ms=initial_cost,
                 final_cost_ms=best_cost,
                 optimisation_time_s=elapsed(),
@@ -194,6 +208,8 @@ class TASOOptimizer:
                     "iterations": float(iterations),
                     "candidates_evaluated": float(candidates_evaluated),
                     "graphs_seen": float(len(seen)),
+                    "measured_latency":
+                        1.0 if self.cost_source == "measured" else 0.0,
                 },
             )
         return result

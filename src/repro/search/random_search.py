@@ -17,7 +17,7 @@ from ..cost.e2e import E2ESimulator
 from ..ir.graph import Graph
 from ..rules.base import RuleSet
 from ..rules.rulesets import default_ruleset
-from .result import SearchResult, timed
+from .result import SearchResult, resolve_latency_source, timed
 
 __all__ = ["RandomSearchOptimizer"]
 
@@ -44,6 +44,13 @@ class RandomSearchOptimizer:
         Optional ``f(iteration, best_cost, best_graph_fp)`` invoked once
         per finished walk with the best simulated end-to-end latency so
         far; the serving layer uses it to stream job progress.
+    cost_source:
+        Objective provider: ``"simulated"`` (default) scores each walk's
+        end graph with the e2e simulator; ``"measured"`` executes it with
+        the numpy backend and uses wall-clock — here the knob changes the
+        *search objective*, not just reporting.
+    executor:
+        Executor backing ``cost_source="measured"``.
     """
 
     name = "random"
@@ -59,13 +66,18 @@ class RandomSearchOptimizer:
                  horizon: int = 30,
                  seed: int = 0,
                  progress_callback: Optional[
-                     Callable[[int, float, str], None]] = None):
+                     Callable[[int, float, str], None]] = None,
+                 cost_source: str = "simulated",
+                 executor: Optional[object] = None):
         self.ruleset = ruleset or default_ruleset()
         self.e2e = e2e or E2ESimulator()
         self.cost_model = cost_model or CostModel()
         self.num_walks = int(num_walks)
         self.horizon = int(horizon)
         self.progress_callback = progress_callback
+        self.cost_source = str(cost_source)
+        self.latency_source = resolve_latency_source(
+            self.cost_source, self.e2e, executor)
         self._rng = np.random.default_rng(seed)
 
     def optimise(self, graph: Graph, model_name: str = "") -> SearchResult:
@@ -86,7 +98,7 @@ class RandomSearchOptimizer:
             walks taken and total steps.
         """
         with timed() as elapsed:
-            initial_latency = self.e2e.latency_ms(graph)
+            initial_latency = self.latency_source.latency_ms(graph)
             best_graph, best_latency, best_rules = graph, initial_latency, []
             steps_total = 0
             progress = self.progress_callback
@@ -110,7 +122,7 @@ class RandomSearchOptimizer:
                         break
                     current, applied = chosen.graph, applied + [chosen.rule_name]
                     steps_total += 1
-                latency = self.e2e.latency_ms(current)
+                latency = self.latency_source.latency_ms(current)
                 if latency < best_latency:
                     best_graph, best_latency, best_rules = current, latency, applied
                 if progress is not None:
@@ -127,5 +139,7 @@ class RandomSearchOptimizer:
                 final_cost_ms=self.cost_model.estimate(best_graph),
                 optimisation_time_s=elapsed(),
                 applied_rules=best_rules,
-                stats={"steps": float(steps_total), "walks": float(self.num_walks)},
+                stats={"steps": float(steps_total), "walks": float(self.num_walks),
+                       "measured_latency":
+                           1.0 if self.cost_source == "measured" else 0.0},
             )

@@ -9,7 +9,27 @@ from typing import Dict, List
 
 from ..ir.graph import Graph
 
-__all__ = ["SearchResult", "timed"]
+__all__ = ["SearchResult", "timed", "resolve_latency_source"]
+
+
+def resolve_latency_source(cost_source: str, e2e, executor=None):
+    """Map an optimiser's ``cost_source`` knob to a latency provider.
+
+    ``"simulated"`` returns ``e2e`` unchanged; ``"measured"`` wraps the
+    numpy executor in :class:`~repro.exec.MeasuredLatency`, so reported
+    latencies are executed wall-clock instead of the analytic model.
+    Anything else raises ``ValueError``.  Both providers expose the same
+    ``latency_ms(graph)`` interface.
+    """
+    if cost_source == "simulated":
+        return e2e
+    if cost_source == "measured":
+        from ..exec import MeasuredLatency
+        if hasattr(executor, "latency_ms"):  # already a latency source
+            return executor
+        return MeasuredLatency(executor)
+    raise ValueError(
+        f"unknown cost_source {cost_source!r} (use 'simulated' or 'measured')")
 
 
 @dataclass

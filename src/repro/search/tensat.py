@@ -10,7 +10,7 @@ from ..ir.graph import Graph
 from ..rules.base import RuleSet
 from ..rules.rulesets import default_ruleset
 from .egraph import GraphSpace
-from .result import SearchResult, timed
+from .result import SearchResult, resolve_latency_source, timed
 
 __all__ = ["TensatOptimizer"]
 
@@ -47,6 +47,12 @@ class TensatOptimizer:
         Optional ``f(iteration, best_cost, best_graph_fp)`` invoked once
         per saturation round with the cheapest extraction candidate so
         far; the serving layer uses it to stream job progress.
+    cost_source:
+        ``"simulated"`` (default) reports initial/final latency from the
+        e2e simulator; ``"measured"`` executes both graphs with the numpy
+        backend and reports wall-clock.
+    executor:
+        Executor backing ``cost_source="measured"``.
     """
 
     name = "tensat"
@@ -63,11 +69,16 @@ class TensatOptimizer:
                  multi_pattern_rounds: int = 1,
                  per_round_cap: int = 150,
                  progress_callback: Optional[
-                     Callable[[int, float, str], None]] = None):
+                     Callable[[int, float, str], None]] = None,
+                 cost_source: str = "simulated",
+                 executor: Optional[object] = None):
         self.ruleset = ruleset or default_ruleset()
         self.cost_model = cost_model or CostModel()
         self.e2e = e2e or E2ESimulator()
         self.progress_callback = progress_callback
+        self.cost_source = str(cost_source)
+        self.latency_source = resolve_latency_source(
+            self.cost_source, self.e2e, executor)
         self.space = GraphSpace(self.ruleset, node_limit=node_limit,
                                 round_limit=round_limit,
                                 multi_pattern_rounds=multi_pattern_rounds,
@@ -124,8 +135,8 @@ class TensatOptimizer:
                 model=model_name or graph.name,
                 initial_graph=graph,
                 final_graph=best_graph,
-                initial_latency_ms=self.e2e.latency_ms(graph),
-                final_latency_ms=self.e2e.latency_ms(best_graph),
+                initial_latency_ms=self.latency_source.latency_ms(graph),
+                final_latency_ms=self.latency_source.latency_ms(best_graph),
                 initial_cost_ms=self.cost_model.estimate(graph),
                 final_cost_ms=best_cost,
                 optimisation_time_s=elapsed(),
@@ -136,6 +147,8 @@ class TensatOptimizer:
                     "total_nodes": float(stats.total_nodes),
                     "saturated": float(stats.saturated),
                     "node_budget_hit": float(stats.node_budget_hit),
+                    "measured_latency":
+                        1.0 if self.cost_source == "measured" else 0.0,
                 },
             )
         return result

@@ -135,3 +135,31 @@ class TestShapeInference:
         for op in (OpType.RELU, OpType.GELU, OpType.SOFTMAX, OpType.LAYERNORM):
             out = infer_output_spec(op, [spec(2, 8)])
             assert out.shape.dims == (2, 8)
+
+
+class TestExecutorFoundRegressions:
+    """Shape-inference bugs surfaced by the numpy executor (the executed
+    shape is the oracle — see tests/exec/test_executor_shapes.py)."""
+
+    def test_rank1_reduce_yields_scalar(self):
+        # Reducing the only axis without keepdims is a scalar (), not (1,):
+        # numpy's sum over axis 0 of a (5,) array has shape ().
+        out = infer_output_spec(OpType.REDUCE_SUM, [spec(5)], {"axis": 0})
+        assert out.shape.dims == ()
+        out = infer_output_spec(OpType.REDUCE_SUM, [spec(5)],
+                                {"axis": 0, "keepdims": True})
+        assert out.shape.dims == (1,)
+
+    def test_batch_matmul_broadcasts_batch_dims(self):
+        # numpy matmul broadcasts leading batch dims; inference must agree.
+        out = infer_output_spec(OpType.BATCH_MATMUL,
+                                [spec(1, 3, 4, 5), spec(2, 1, 5, 6)])
+        assert out.shape.dims == (2, 3, 4, 6)
+        out = infer_output_spec(OpType.BATCH_MATMUL,
+                                [spec(7, 4, 5), spec(5, 6)])
+        assert out.shape.dims == (7, 4, 6)
+
+    def test_batch_matmul_incompatible_batch_dims_rejected(self):
+        with pytest.raises(ValueError):
+            infer_output_spec(OpType.BATCH_MATMUL,
+                              [spec(2, 4, 5), spec(3, 5, 6)])

@@ -208,7 +208,7 @@ class TestCli:
     def test_real_committed_files_pass_their_own_gate(self, capsys):
         """The repo's committed numbers must clear their own full gate."""
         for name in ("BENCH_search.json", "BENCH_service.json",
-                     "BENCH_rl.json"):
+                     "BENCH_rl.json", "BENCH_exec.json"):
             path = REPO_ROOT / name
             return_code = check_bench.main(["--baseline", str(path),
                                            "--fresh", str(path), "--full"])
@@ -218,3 +218,62 @@ class TestCli:
         path = self._write(tmp_path / "BENCH_unknown.json", _doc())
         with pytest.raises(SystemExit, match="no gates"):
             check_bench.main(["--baseline", str(path), "--fresh", str(path)])
+
+
+def _exec_doc(smoke: bool = True, *, pass_rate: float = 1.0,
+              improvement: float = 2.0, status: str = "passed",
+              rules: float = 15.0, equivalence: bool = True) -> dict:
+    """A minimal BENCH_exec.json-shaped document."""
+    results = {
+        "models": {"bert": {"execute_ms": 18.0, "sim_ms": 0.3,
+                            "ratio": 60.0, "nodes": 105.0}},
+        "calibration": {"samples": 120.0, "error_before": 4.0,
+                        "error_after": 1.3, "improvement": improvement},
+        "op_class_ratio": {"MatMul": 0.7},
+    }
+    if equivalence:
+        results["equivalence"] = {
+            "rules_checked": rules, "optimiser_checks": 9.0,
+            "total_checks": 24.0, "pass_rate": pass_rate,
+            "status": status, "rtol": 1e-5, "atol": 1e-6}
+    return {"benchmark": "exec", "schema": 1, "smoke": smoke,
+            "results": results}
+
+
+class TestExecWitnesses:
+    """BENCH_exec.json gates: the differential sweep must run and pass."""
+
+    EXEC_GATES = check_bench.GATES["BENCH_exec.json"]
+    POSITIVE = check_bench.REQUIRED_POSITIVE["BENCH_exec.json"]
+    LITERAL = check_bench.REQUIRED_LITERAL["BENCH_exec.json"]
+
+    def _evaluate(self, fresh: dict, smoke: bool = True):
+        return check_bench.evaluate(
+            _exec_doc(), fresh, self.EXEC_GATES, smoke=smoke,
+            required_positive=self.POSITIVE, required_literal=self.LITERAL)
+
+    def test_witnessed_run_passes_both_modes(self):
+        for smoke in (True, False):
+            problems, notes = self._evaluate(_exec_doc(smoke=smoke),
+                                             smoke=smoke)
+            assert problems == []
+            assert any("gate executed" in n for n in notes)
+
+    def test_skipped_equivalence_sweep_fails(self):
+        problems, _ = self._evaluate(_exec_doc(equivalence=False))
+        assert any("equivalence gate skipped" in p for p in problems)
+        # pass_rate is also gated, so its absence fails separately.
+        assert any("equivalence.pass_rate" in p for p in problems)
+
+    def test_partial_pass_rate_fails(self):
+        problems, _ = self._evaluate(_exec_doc(pass_rate=0.96))
+        assert any("equivalence.pass_rate" in p and "smoke floor" in p
+                   for p in problems)
+
+    def test_failed_status_literal_fails(self):
+        problems, _ = self._evaluate(_exec_doc(status="failed"))
+        assert any("!= expected 'passed'" in p for p in problems)
+
+    def test_calibration_must_not_worsen_fit(self):
+        problems, _ = self._evaluate(_exec_doc(improvement=0.8))
+        assert any("calibration.improvement" in p for p in problems)

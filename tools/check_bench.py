@@ -62,6 +62,15 @@ GATES: Dict[str, Dict[str, float]] = {
         "dispatch_skewed_load.speedup": 1.0,
         "cross_process_dedup.speedup": 1.0,
     },
+    "BENCH_exec.json": {
+        # Floors, not latencies: calibration can never make the fit worse
+        # (the identity scaling is in the search grid), and the
+        # differential sweep must pass outright.  Raw execute_ms values
+        # are recorded but not gated — lower is better, so a floor would
+        # be meaningless.
+        "calibration.improvement": 1.0,
+        "equivalence.pass_rate": 1.0,
+    },
     "BENCH_rl.json": {
         "observation_encoding.*.speedup": 1.2,
         "env_steps.*.speedup": 1.1,
@@ -85,6 +94,12 @@ GATES: Dict[str, Dict[str, float]] = {
 #: itself a failure.
 REQUIRED_POSITIVE: Dict[str, Tuple[str, ...]] = {
     "BENCH_rl.json": ("env_steps.*.equivalence.embedder_checks",),
+    "BENCH_exec.json": (
+        "equivalence.rules_checked",
+        "equivalence.optimiser_checks",
+        "calibration.samples",
+        "models.*.execute_ms",
+    ),
 }
 
 #: String leaves that must equal an expected literal in the fresh results
@@ -92,6 +107,9 @@ REQUIRED_POSITIVE: Dict[str, Tuple[str, ...]] = {
 REQUIRED_LITERAL: Dict[str, Dict[str, str]] = {
     "BENCH_rl.json": {
         "env_steps.*.equivalence.trajectory_float64": "passed",
+    },
+    "BENCH_exec.json": {
+        "equivalence.status": "passed",
     },
 }
 
