@@ -18,12 +18,17 @@ same second-order effects the paper's evaluation hinges on:
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import os
 from dataclasses import dataclass, replace
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 from ..ir.ops import OpType
 
-__all__ = ["DeviceConfig", "SimulatedDevice", "GTX1080", "default_device"]
+__all__ = ["DeviceConfig", "SimulatedDevice", "GTX1080", "default_device",
+           "preset_path", "load_preset", "clear_preset_cache"]
 
 
 @dataclass(frozen=True)
@@ -106,6 +111,70 @@ class SimulatedDevice:
         return f"SimulatedDevice({self.config.name!r})"
 
 
+# ---------------------------------------------------------------------------
+# Persisted calibration presets
+# ---------------------------------------------------------------------------
+#
+# ``repro.exec.calibrate.save_preset`` writes the fitted device constants to
+# a small JSON file; ``default_device`` picks it up on the next start so a
+# one-off calibration run keeps paying off.  ``REPRO_DEVICE_PRESET`` selects
+# the file ("off" disables loading entirely, e.g. for hermetic test runs).
+
+_DEFAULT_PRESET = Path.home() / ".cache" / "repro" / "device_preset.json"
+
+#: (resolved path, mtime_ns) -> loaded device, so the hot ``default_device``
+#: call stats the file instead of re-parsing it.
+_preset_cache: dict = {}
+
+
+def preset_path() -> Optional[Path]:
+    """The preset file ``default_device`` consults, or None when disabled."""
+    env = os.environ.get("REPRO_DEVICE_PRESET", "")
+    if env.strip().lower() == "off":
+        return None
+    return Path(env) if env else _DEFAULT_PRESET
+
+
+def load_preset(path: Union[str, Path]) -> SimulatedDevice:
+    """Load a device preset written by ``save_preset``.
+
+    Unknown keys are ignored (forward compatibility); missing ones keep
+    their :class:`DeviceConfig` defaults.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    config = payload.get("device", payload)
+    fields = {f.name for f in dataclasses.fields(DeviceConfig)}
+    kwargs = {k: v for k, v in config.items() if k in fields}
+    return SimulatedDevice(DeviceConfig(**kwargs))
+
+
+def clear_preset_cache() -> None:
+    """Drop the memoised preset (tests; or after deleting the file)."""
+    _preset_cache.clear()
+
+
+def _preset_device() -> Optional[SimulatedDevice]:
+    path = preset_path()
+    if path is None:
+        return None
+    try:
+        key: Tuple[str, int] = (str(path), path.stat().st_mtime_ns)
+    except OSError:
+        return None
+    if key not in _preset_cache:
+        try:
+            _preset_cache[key] = load_preset(path)
+        except (OSError, ValueError, TypeError):
+            # A corrupt preset must never take the toolchain down.
+            _preset_cache[key] = None
+    return _preset_cache[key]
+
+
 def default_device() -> SimulatedDevice:
-    """The device used throughout the evaluation (GTX 1080-like)."""
-    return SimulatedDevice(GTX1080)
+    """The device used throughout the evaluation.
+
+    A persisted calibration preset (see :func:`preset_path`) takes
+    precedence; otherwise the GTX 1080-like defaults apply.
+    """
+    return _preset_device() or SimulatedDevice(GTX1080)

@@ -23,11 +23,15 @@ _ZERO_COST_OPS = {
     OpType.NOOP, OpType.IDENTITY, OpType.DROPOUT,
 }
 
-#: Data-movement operators whose cost is purely memory traffic.
+#: Data-movement operators whose cost is purely memory traffic.  CUSTOM is
+#: here by definition: its executed semantics *are* the pass-through copy,
+#: so the calibrated bytes/ms constant prices it (the "calibrated
+#: pass-through" costing of imported unknown ops).
 _MOVEMENT_OPS = {
     OpType.RESHAPE, OpType.TRANSPOSE, OpType.CONCAT, OpType.SPLIT,
     OpType.SLICE, OpType.SQUEEZE, OpType.UNSQUEEZE, OpType.FLATTEN,
     OpType.PAD, OpType.CAST, OpType.GATHER, OpType.EMBEDDING,
+    OpType.CUSTOM,
 }
 
 

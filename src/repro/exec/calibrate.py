@@ -20,20 +20,24 @@ trusted per op family.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..cost.device import SimulatedDevice, default_device
+from ..cost.device import (SimulatedDevice, clear_preset_cache,
+                           default_device, preset_path)
 from ..cost.op_cost import is_zero_cost, op_flops, op_memory_bytes
 from ..ir.graph import Graph
 from ..ir.ops import SOURCE_OPS, OpType
 from .executor import NumpyExecutor
 
 __all__ = ["KernelSample", "CalibrationResult", "collect_kernel_samples",
-           "calibrate"]
+           "calibrate", "save_preset"]
 
 
 @dataclass(frozen=True)
@@ -155,3 +159,36 @@ def calibrate(graphs: Sequence[Graph],
         error_after=error_after,
         samples=samples,
     )
+
+
+def save_preset(result: CalibrationResult,
+                path: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """Persist the fitted device so ``default_device`` loads it at startup.
+
+    Writes the :class:`~repro.cost.device.DeviceConfig` of
+    ``result.device_after`` (plus fit metadata, for humans) to ``path`` —
+    defaulting to :func:`~repro.cost.device.preset_path`.  Returns the
+    written path, or None when persistence is disabled
+    (``REPRO_DEVICE_PRESET=off`` and no explicit path).
+    """
+    target = Path(path) if path is not None else preset_path()
+    if target is None:
+        return None
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "repro-device-preset",
+        "version": 1,
+        "device": dataclasses.asdict(result.device_after.config),
+        "fit": {
+            "flops_scale": result.flops_scale,
+            "bytes_scale": result.bytes_scale,
+            "error_before": result.error_before,
+            "error_after": result.error_after,
+            "num_samples": len(result.samples),
+        },
+    }
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    tmp.replace(target)
+    clear_preset_cache()
+    return target

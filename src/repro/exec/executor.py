@@ -134,7 +134,13 @@ class NumpyExecutor:
             started = time.perf_counter()
             if kernel is None:
                 outs = _passthrough(in_vals, out_shapes)
-                fallback_ops[op.value] = fallback_ops.get(op.value, 0) + 1
+                # Opaque imported nodes are counted under their *foreign*
+                # op name so an ImportReport and an ExecutionReport tell
+                # the same per-op story.
+                key = op.value
+                if op is OpType.CUSTOM:
+                    key = f"Custom:{node.attrs.get('op', '?')}"
+                fallback_ops[key] = fallback_ops.get(key, 0) + 1
             else:
                 outs = kernel(in_vals, node.attrs, out_shapes)
             per_node_ms[nid] = (time.perf_counter() - started) * 1e3

@@ -1,0 +1,26 @@
+"""Frontend importers: foreign model formats -> the tensor-graph IR.
+
+The only frontend today is ONNX (:mod:`repro.frontend.onnx`), built from
+three layers:
+
+* :mod:`repro.frontend.serialize` — a protobuf-free ``.onnx`` wire codec
+  plus a JSON fallback format, parsed into neutral spec dataclasses.
+* :mod:`repro.frontend.ops_bridge` — the declarative per-op bridge table
+  translating foreign node specs into IR nodes.
+* :mod:`repro.frontend.onnx` — the import/export drivers and the
+  :class:`~repro.frontend.onnx.ImportReport` coverage accounting.
+
+:mod:`repro.frontend.zoo` generates importable model specs (depth/width/
+batch sweeps over resnet/bert/vit-style topologies) used by the importer
+conformance suite and CI.
+"""
+
+from .onnx import ImportError_, ImportReport, import_model, to_onnx, to_spec
+from .serialize import (GraphSpec, ModelSpec, NodeSpec, TensorInfo,
+                        ValueInfo, load_model_spec, save_model_spec)
+
+__all__ = [
+    "ImportError_", "ImportReport", "import_model", "to_onnx", "to_spec",
+    "GraphSpec", "ModelSpec", "NodeSpec", "TensorInfo", "ValueInfo",
+    "load_model_spec", "save_model_spec",
+]

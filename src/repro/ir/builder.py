@@ -181,6 +181,19 @@ class GraphBuilder:
             OpType.REDUCE_MEAN, (x,), {"axis": axis, "keepdims": keepdims}, name)
 
     # -- misc --------------------------------------------------------------------
+    def custom(self, inputs: Sequence[NodeId], op: str, shape: Sequence[int],
+               dtype: str = "float32", name: str = "") -> NodeId:
+        """An opaque foreign operator with a *declared* output shape.
+
+        Used by the frontend importer for ops outside the bridge table: the
+        node is excluded from rewrite matching and executes as a counted
+        pass-through, but carries enough metadata (foreign op name, output
+        spec) to keep the graph well-typed end to end.
+        """
+        return self.graph.add_node(
+            OpType.CUSTOM, tuple(inputs),
+            {"op": op, "shape": tuple(shape), "dtype": dtype}, name)
+
     def embedding(self, indices: NodeId, vocab: int, dim: int,
                   name: str = "") -> NodeId:
         table = self.weight((vocab, dim))

@@ -15,7 +15,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from .tensor import DataType, TensorShape, TensorSpec
 
-__all__ = ["OpType", "OpSignature", "OP_REGISTRY", "infer_output_spec", "op_index", "num_op_types"]
+__all__ = ["OpType", "OpSignature", "OP_REGISTRY", "infer_output_spec",
+           "op_index", "num_op_types", "OPAQUE_OPS"]
 
 
 class OpType(Enum):
@@ -90,6 +91,13 @@ class OpType(Enum):
     FUSED_MATMUL_ADD = "FusedMatMulAdd"
     NOOP = "NoOp"
 
+    # Opaque foreign operator (frontend importer fallback).  Carries the
+    # original op name plus *declared* output shape/dtype in its attrs; the
+    # executor runs it through the counted pass-through and no rewrite rule
+    # may match into it.  Keep this the last member: appending preserves the
+    # stable ``op_index`` values of every existing operator.
+    CUSTOM = "Custom"
+
 
 #: Stable ordering of operator types used for one-hot node encodings in the
 #: GNN.  The order is the enum declaration order.
@@ -113,6 +121,10 @@ ELEMENTWISE_UNARY = {
 }
 ELEMENTWISE_BINARY = {OpType.ADD, OpType.SUB, OpType.MUL, OpType.DIV}
 SOURCE_OPS = {OpType.INPUT, OpType.WEIGHT, OpType.CONSTANT}
+#: Operators that are opaque by contract: no kernel exists (the executor's
+#: counted pass-through is their defined behaviour) and rewrite rules must
+#: never bind one of their nodes into a match.
+OPAQUE_OPS = {OpType.CUSTOM}
 FUSED_OPS = {
     OpType.FUSED_CONV_BN, OpType.FUSED_CONV_RELU, OpType.FUSED_CONV_BN_RELU,
     OpType.FUSED_MATMUL_ADD,
@@ -215,6 +227,10 @@ OP_REGISTRY: Dict[OpType, OpSignature] = {
     OpType.FUSED_CONV_BN_RELU: _sig(OpType.FUSED_CONV_BN_RELU, 2, 7, attrs={"stride": 1, "padding": "same"}),
     OpType.FUSED_MATMUL_ADD: _sig(OpType.FUSED_MATMUL_ADD, 3, 3),
     OpType.NOOP: _sig(OpType.NOOP, 0, 0),
+    OpType.CUSTOM: _sig(
+        OpType.CUSTOM, 0, 64,
+        attrs={"op": "", "shape": None, "dtype": "float32"},
+    ),
 }
 
 
@@ -357,6 +373,14 @@ def _infer_output_spec(
 
     if op_type is OpType.OUTPUT or op_type is OpType.IDENTITY or op_type is OpType.CAST:
         return inputs[0]
+    if op_type is OpType.CUSTOM:
+        # Opaque node: the importer *declares* the output spec; inference
+        # only replays the declaration (stable under input rewiring).
+        shape = attrs.get("shape")
+        if shape is None:
+            raise ValueError("Custom requires a declared 'shape' attribute")
+        return TensorSpec(TensorShape(shape),
+                          DataType(attrs.get("dtype", "float32")))
     if op_type is OpType.NOOP:
         return TensorSpec(TensorShape(()), DataType.FLOAT32)
 

@@ -195,6 +195,15 @@ class GraphInterpreter:
                           0, table.shape[axis] - 1)
             return [np.take(table, idx, axis=axis)]
 
+        if op is OpType.CUSTOM:
+            # Opaque imported node: same pass-through semantics as the
+            # executor (forward the first input when element counts line
+            # up, zeros otherwise) so the two backends stay comparable.
+            shape = tuple(node.outputs[0].shape.dims)
+            if in_vals and in_vals[0].size == int(np.prod(shape, dtype=np.int64)):
+                return [np.asarray(in_vals[0], dtype=np.float64).reshape(shape)]
+            return [np.zeros(shape)]
+
         raise NotImplementedError(f"interpreter missing op {op.value}")
 
     # ------------------------------------------------------------------

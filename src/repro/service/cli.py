@@ -93,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bypass the fingerprint cache entirely")
     parser.add_argument("--repeat", type=int, default=1,
                         help="submit the batch N times (warm rounds hit the cache)")
+    parser.add_argument("--import", action="append", default=[],
+                        metavar="PATH", dest="imports",
+                        help="optimise a foreign model imported through the "
+                             "ONNX frontend (repeatable; .onnx protobuf or "
+                             "the JSON fallback format)")
+    parser.add_argument("--strict-import", action="store_true",
+                        help="fail --import models containing unbridged ops "
+                             "instead of degrading them to Custom fallbacks")
     parser.add_argument("--full", action="store_true",
                         help="build full-size models instead of the reduced "
                              "experiment sizes")
@@ -193,19 +201,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.prune_cache:
         return _run_prune(args)
 
+    from pathlib import Path
+
     from ..experiments.common import small_model_kwargs
+    from ..frontend import ImportError_, import_model
     from ..models.registry import build_model
 
     config = _parse_config(args.config)
-    names: List[str] = args.models or ["squeezenet"]
+    names: List[str] = args.models or ([] if args.imports else ["squeezenet"])
     try:
         optimiser_spec(args.optimiser)
         graphs = []
         for name in names:
             kwargs = {} if args.full else small_model_kwargs(name)
             graphs.append((build_model(name, **kwargs), name))
+        for path in args.imports:
+            graph, report = import_model(path, strict=args.strict_import)
+            print(f"[import] {report.summary()}")
+            graphs.append((graph, f"onnx:{Path(path).stem}"))
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}")
+    except (OSError, ValueError, ImportError_) as exc:
+        raise SystemExit(f"error: {exc}")
 
     backend = args.backend or ("process" if args.processes else None)
     if args.remote_workers and backend not in (None, "async"):

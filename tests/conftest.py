@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.ir import GraphBuilder
+
+# Hermetic runs: a developer's persisted calibration preset must not leak
+# into test expectations.  Tests that exercise preset loading opt back in
+# by pointing REPRO_DEVICE_PRESET at a tmp file.
+os.environ.setdefault("REPRO_DEVICE_PRESET", "off")
 
 
 @pytest.fixture

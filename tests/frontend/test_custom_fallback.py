@@ -1,0 +1,88 @@
+"""End-to-end life of an unknown foreign op: import as an opaque Custom
+node, survive optimisation untouched, execute as a counted pass-through,
+and fingerprint deterministically for the service cache."""
+
+from __future__ import annotations
+
+from repro.exec import NumpyExecutor, differential_check
+from repro.frontend import import_model, to_spec
+from repro.frontend.serialize import (GraphSpec, ModelSpec, NodeSpec,
+                                      TensorInfo, ValueInfo,
+                                      loads_model_spec, model_spec_to_bytes)
+from repro.ir.ops import OPAQUE_OPS, OpType
+from repro.rules import exact_ruleset
+from repro.search import TASOOptimizer
+from repro.service.cache import request_fingerprint
+
+
+def _mish_model() -> ModelSpec:
+    """Conv -> Mish (unknown op) -> Relu, with the Mish shape declared."""
+    g = GraphSpec(name="mishnet")
+    g.inputs.append(ValueInfo("x", (1, 3, 8, 8)))
+    g.initializers.append(TensorInfo("w", (8, 3, 3, 3)))
+    g.nodes.append(NodeSpec("Conv", ("x", "w"), ("c",),
+                            {"kernel_shape": (3, 3), "strides": (1, 1),
+                             "auto_pad": "SAME_UPPER"}, "conv"))
+    g.nodes.append(NodeSpec("Mish", ("c",), ("m",), {"beta": 1.0}, "mish"))
+    g.nodes.append(NodeSpec("Relu", ("m",), ("y",), {}, "relu"))
+    g.outputs.append(ValueInfo("y", (1, 8, 8, 8)))
+    g.value_infos.append(ValueInfo("m", (1, 8, 8, 8)))
+    return ModelSpec(g)
+
+
+def _custom_nodes(graph):
+    return [node for node in graph.nodes.values()
+            if node.op_type is OpType.CUSTOM]
+
+
+def test_unknown_op_imports_as_custom_with_declared_shape():
+    graph, report = import_model(_mish_model())
+    assert report.fallbacks == {"Mish": 1}
+    assert "bridge" in report.fallback_reasons["mish"]
+    (custom,) = _custom_nodes(graph)
+    assert custom.attrs["op"] == "Mish"
+    assert tuple(custom.attrs["shape"]) == (1, 8, 8, 8)
+    assert tuple(custom.outputs[0].shape.dims) == (1, 8, 8, 8)
+
+
+def test_optimiser_never_rewrites_into_the_opaque_node():
+    graph, _ = import_model(_mish_model())
+    before = _custom_nodes(graph)[0].attrs
+    result = TASOOptimizer(ruleset=exact_ruleset(),
+                           max_iterations=10).optimise(graph, "mishnet")
+    after = _custom_nodes(result.final_graph)
+    assert len(after) == 1  # the opaque node is never fused or eliminated
+    assert after[0].attrs == before
+    report = differential_check(graph, result.final_graph,
+                                require_values=False)
+    assert report.equivalent, report.problems
+
+
+def test_executor_counts_the_custom_pass_through():
+    graph, _ = import_model(_mish_model())
+    execution = NumpyExecutor().run_detailed(graph)
+    assert execution.fallback_ops == {"Custom:Mish": 1}
+    assert execution.outputs["output"].shape == (1, 8, 8, 8)
+
+
+def test_custom_is_opaque_by_contract():
+    assert OpType.CUSTOM in OPAQUE_OPS
+
+
+def test_import_is_deterministic_for_cache_fingerprints():
+    spec_bytes = model_spec_to_bytes(_mish_model())
+    g1, _ = import_model(loads_model_spec(spec_bytes))
+    g2, _ = import_model(loads_model_spec(spec_bytes))
+    assert g1.structural_hash() == g2.structural_hash()
+    assert request_fingerprint(g1, "taso", {"max_iterations": 10}) == \
+        request_fingerprint(g2, "taso", {"max_iterations": 10})
+
+
+def test_custom_node_round_trips_through_the_repro_domain():
+    graph, _ = import_model(_mish_model())
+    spec = to_spec(graph)
+    custom = [n for n in spec.graph.nodes if n.op_type == "Custom"]
+    assert len(custom) == 1 and custom[0].domain == "ai.repro"
+    again, report = import_model(spec)
+    assert report.num_fallbacks == 0  # repro::Custom is a bridged op
+    assert graph.structural_hash() == again.structural_hash()

@@ -1,0 +1,71 @@
+"""CI workflow hygiene: the config in ``.github/workflows/ci.yml`` must
+stay consistent with the repository it gates.
+
+Plain-text assertions (no YAML dependency in the container): the
+workflow is small and the properties checked here are structural —
+ignore-lists that reference real files, cache keys that depend on the
+requirements stanza, and the importer job wiring."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CI = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+
+
+def test_tier1_ignore_list_references_existing_files():
+    """Every --ignore'd path must exist — a renamed benchmark would turn
+    the ignore into a no-op and silently double-run the file in tier1."""
+    ignored = re.findall(r"--ignore=(\S+)", CI)
+    assert ignored, "tier1 ignore list disappeared"
+    for path in ignored:
+        assert (REPO_ROOT / path).is_file(), f"stale ignore: {path}"
+
+
+def test_tier1_ignores_exactly_the_bench_files_the_bench_job_runs():
+    """The ignore list and the bench job must cover the same files: a
+    benchmark ignored in tier1 but not run by bench would never run."""
+    ignored = {Path(p).name for p in re.findall(r"--ignore=(\S+)", CI)}
+    bench_runs = set(re.findall(r"pytest (benchmarks/\S+\.py)", CI))
+    assert ignored == {Path(p).name for p in bench_runs}
+
+
+def test_pip_cache_key_tracks_the_requirements_file():
+    """Cache keys must depend on the explicit requirements stanza, not on
+    ci.yml itself — editing an unrelated step should not cold-start pip."""
+    assert (REPO_ROOT / ".github" / "requirements-ci.txt").is_file()
+    deps = re.findall(r"cache-dependency-path:\s*(\S+)", CI)
+    assert deps, "pip cache configuration disappeared"
+    assert all(d == ".github/requirements-ci.txt" for d in deps)
+
+
+def test_install_steps_use_the_requirements_file():
+    """The requirements stanza only keys the cache correctly if installs
+    actually read it."""
+    assert "pip install -r .github/requirements-ci.txt" in CI
+
+
+def test_requirements_file_has_no_unvetted_dependencies():
+    """The container bakes in numpy/pytest; anything beyond the vetted
+    set needs an explicit decision (and an offline-install story)."""
+    allowed = {"numpy", "pytest", "pytest-benchmark", "ruff"}
+    lines = (REPO_ROOT / ".github" / "requirements-ci.txt").read_text()
+    for line in lines.splitlines():
+        line = line.split("#")[0].strip()
+        if not line:
+            continue
+        name = re.split(r"[<>=~!\[]", line)[0].strip()
+        assert name in allowed, f"unvetted CI dependency: {name}"
+
+
+def test_importer_job_exists_and_gates_coverage():
+    assert "importer:" in CI
+    assert "tools/check_import_coverage.py" in CI
+    assert "GITHUB_STEP_SUMMARY" in CI
+    assert "IMPORT_CONFORMANCE=1" in CI
+
+
+def test_concurrency_cancels_superseded_runs():
+    assert "cancel-in-progress: true" in CI

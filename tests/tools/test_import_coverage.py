@@ -1,0 +1,72 @@
+"""Tests for the importer coverage gate (``tools/check_import_coverage.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "check_import_coverage",
+    REPO_ROOT / "tools" / "check_import_coverage.py")
+check_import_coverage = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_import_coverage", check_import_coverage)
+_SPEC.loader.exec_module(check_import_coverage)
+
+
+def test_live_bridge_table_is_clean():
+    assert check_import_coverage.check() == []
+
+
+def test_floor_violation_is_reported():
+    rows = check_import_coverage.collect()
+    problems = check_import_coverage.check(rows, min_ops=10_000)
+    assert any("floor" in p for p in problems)
+
+
+def test_missing_conformance_case_is_reported():
+    rows = check_import_coverage.collect()
+    victim = next(r for r in rows if r["domain"] == "(default)")
+    victim["case"] = False
+    problems = check_import_coverage.check(rows)
+    assert any(f"bridged op {victim['op']} has no conformance case" == p
+               for p in problems)
+
+
+def test_unclean_import_is_reported():
+    rows = check_import_coverage.collect()
+    victim = next(r for r in rows if r["domain"] == "(default)")
+    victim["fallbacks"] = 2
+    problems = check_import_coverage.check(rows)
+    assert any("does not import cleanly" in p for p in problems)
+
+
+def test_dropped_bridge_flags_stale_case():
+    rows = check_import_coverage.collect()
+    rows = [r for r in rows
+            if not (r["domain"] == "(default)" and r["op"] == "Relu")]
+    problems = check_import_coverage.check(rows)
+    assert any("Relu" in p and "no longer bridged" in p for p in problems)
+
+
+def test_markdown_table_lists_every_bridge():
+    rows = check_import_coverage.collect()
+    table = check_import_coverage.markdown_table(rows)
+    for row in rows:
+        assert f"| `{row['op']}` |" in table
+    assert ":x:" not in table  # live table is fully green
+
+
+def test_main_writes_summary_file(tmp_path, capsys):
+    out = tmp_path / "summary.md"
+    code = check_import_coverage.main(["--output", str(out)])
+    assert code == 0
+    assert "ONNX importer coverage" in out.read_text()
+    assert "importer coverage OK" in capsys.readouterr().out
+
+
+def test_main_fails_on_unreachable_floor(capsys):
+    code = check_import_coverage.main(["--min-ops", "10000"])
+    assert code == 1
+    assert "FAILED" in capsys.readouterr().err
