@@ -1,7 +1,7 @@
 """Benchmarks for the incremental rewrite engine.
 
-Two measurements on the largest model-zoo graphs (InceptionV3 is the largest
-convolutional entry, BERT the largest transformer entry):
+Four measurements on the largest model-zoo graphs (InceptionV3 is the
+largest convolutional entry, BERT the largest transformer entry):
 
 * **candidate throughput** — how many rewrite candidates per second the
   engine can enumerate, materialise and rank.  The eager baseline is the
@@ -9,11 +9,18 @@ convolutional entry, BERT the largest transformer entry):
   candidate); the incremental path is lazy candidates + delta costing.
 * **end-to-end TASO search** — ``TASOOptimizer.optimise`` wall-clock,
   eager vs incremental.
+* **intra-search parallelism** — the same search sharded across the
+  persistent worker pool, with a per-stage overhead breakdown
+  (serialise / dispatch / compute) and the host core count recorded so
+  the CI gate knows whether a scaling floor is even physical.
+* **measured end-to-end** — the TASO-optimised graphs executed for real
+  with the numpy backend: the cost-model win must survive contact with
+  actual kernels.
 
-Both paths must produce *identical* results (costs bit-for-bit, graph hashes
-byte-for-byte); the speedup assertions make regressions in the lazy path
-fail loudly.  Results are appended to ``BENCH_search.json`` at the repo root
-so the perf trajectory is recorded over time.
+Every variant must produce *identical* results (costs bit-for-bit, graph
+hashes byte-for-byte); the speedup assertions make regressions in the lazy
+path fail loudly.  Results are appended to ``BENCH_search.json`` at the
+repo root so the perf trajectory is recorded over time.
 
 Set ``SEARCH_BENCH_SMOKE=1`` (CI) for a single repetition with relaxed
 speedup thresholds — CI boxes are too noisy for the full 3x/2x gates, which
@@ -26,9 +33,11 @@ import time
 from pathlib import Path
 
 from repro.cost import CostModel
+from repro.exec import NumpyExecutor
 from repro.experiments import ExperimentReport, build_small_model
 from repro.rules import default_ruleset
-from repro.search import TASOOptimizer
+from repro.search import TASOOptimizer, WorkerPool
+from repro.service.profiling import StageProfiler
 
 SMOKE = os.environ.get("SEARCH_BENCH_SMOKE") == "1"
 REPEATS = 1 if SMOKE else 3
@@ -175,3 +184,127 @@ def test_taso_end_to_end_speedup(benchmark):
         assert eager_s / incremental_s >= MIN_E2E_SPEEDUP, \
             (f"{name}: incremental TASO only "
              f"{eager_s / incremental_s:.2f}x faster (gate {MIN_E2E_SPEEDUP}x)")
+
+
+def test_intra_search_parallel(benchmark):
+    """Pooled candidate evaluation retraces the serial search exactly.
+
+    The speedup is recorded together with ``cores`` — on a single-core CI
+    box sharding CPU-bound work over processes cannot beat serial, so the
+    CI gate (``tools/check_bench.py``) only enforces its scaling floor
+    when the recording host actually had cores to scale onto.  The
+    equivalence witnesses are enforced unconditionally.
+    """
+    report = ExperimentReport(
+        experiment="Search bench",
+        description="TASO serial vs worker-pool sharded (4 workers)")
+    payload = {"cores": os.cpu_count() or 1}
+    profiler = StageProfiler()
+
+    def run():
+        rows = []
+        with WorkerPool(num_workers=4, profiler=profiler) as pool:
+            for name in LARGEST_MODELS:
+                graph = build_small_model(name)
+
+                def serial_run():
+                    return TASOOptimizer(
+                        max_iterations=TASO_ITERATIONS).optimise(graph, name)
+
+                def pooled_run():
+                    return TASOOptimizer(
+                        max_iterations=TASO_ITERATIONS,
+                        pool=pool).optimise(graph, name)
+
+                serial_s, serial = _best_of(serial_run)
+                pooled_s, pooled = _best_of(pooled_run)
+                # Equivalence gate: bit-for-bit, not approximate.
+                assert pooled.final_cost_ms == serial.final_cost_ms, name
+                assert pooled.final_graph.structural_hash() \
+                    == serial.final_graph.structural_hash(), name
+                assert pooled.applied_rules == serial.applied_rules, name
+                assert pooled.stats["fallback_batches"] == 0, name
+                rows.append((name, serial_s, pooled_s, pooled.stats))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    stages = profiler.snapshot()
+    stage_total = sum(stages.values()) or 1.0
+    for name, serial_s, pooled_s, stats in rows:
+        speedup = serial_s / pooled_s
+        report.add(name, serial_s=serial_s, parallel_s=pooled_s,
+                   speedup_x=speedup)
+        payload[name] = {
+            "serial_seconds": serial_s,
+            "parallel_seconds": pooled_s,
+            "speedup": speedup,
+            "workers": 4,
+            "bytes_shipped": stats["bytes_shipped"],
+            "equivalence": {
+                "final_hash": "matched",
+                "final_cost_float64": "matched",
+                "rules_checked": len(LARGEST_MODELS),
+            },
+        }
+    payload["stages"] = {
+        name: {"seconds": seconds, "fraction": seconds / stage_total}
+        for name, seconds in stages.items()}
+    for name, seconds in sorted(stages.items()):
+        report.add(f"stage:{name}", seconds=seconds,
+                   fraction=seconds / stage_total)
+    print("\n" + report.to_text())
+    _record("intra_search_parallel", payload)
+    # Core-aware floor, mirrored by the CI gate: with real cores the pool
+    # must win outright; on a single-core host sharding CPU-bound work
+    # over processes is pure timeslicing, so only pathological overhead
+    # (e.g. re-shipping full graphs every iteration) fails.
+    floor = 1.2 if (os.cpu_count() or 1) >= 2 else 0.15
+    for name, serial_s, pooled_s, _ in rows:
+        assert serial_s / pooled_s >= floor, \
+            (f"{name}: pooled search {serial_s / pooled_s:.2f}x vs serial "
+             f"(floor {floor}x on {os.cpu_count()} core(s))")
+
+
+def test_measured_end_to_end(benchmark):
+    """The cost-model win survives real execution: TASO-optimised graphs
+    run faster under the numpy backend than their inputs."""
+    report = ExperimentReport(
+        experiment="Search bench",
+        description="executed latency before vs after TASO optimisation")
+    payload = {}
+    executor = NumpyExecutor()
+
+    def run():
+        rows = []
+        for name in LARGEST_MODELS:
+            graph = build_small_model(name)
+            result = TASOOptimizer(
+                max_iterations=TASO_ITERATIONS).optimise(graph, name)
+            baseline_ms = executor.measure(graph, repeats=REPEATS)
+            optimised_ms = executor.measure(result.final_graph,
+                                            repeats=REPEATS)
+            rows.append((name, baseline_ms, optimised_ms,
+                         len(result.applied_rules)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, baseline_ms, optimised_ms, rules in rows:
+        speedup = baseline_ms / optimised_ms
+        report.add(name, baseline_ms=baseline_ms, optimised_ms=optimised_ms,
+                   speedup_x=speedup, rules=float(rules))
+        payload[name] = {
+            "baseline_execute_ms": baseline_ms,
+            "optimised_execute_ms": optimised_ms,
+            "speedup": speedup,
+            "rules_applied": rules,
+        }
+    print("\n" + report.to_text())
+    _record("measured_end_to_end", payload)
+    for name, baseline_ms, optimised_ms, rules in rows:
+        assert rules > 0, f"{name}: search applied no rewrites"
+        # Executed wins are genuinely small on reduced-size graphs (the
+        # fusions help, but numpy pays no kernel-launch overhead); the gate
+        # is "never slower beyond timer noise".
+        assert baseline_ms / optimised_ms >= 0.97, \
+            (f"{name}: optimised graph executes slower "
+             f"({baseline_ms:.2f}ms -> {optimised_ms:.2f}ms)")

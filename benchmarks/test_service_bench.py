@@ -4,8 +4,11 @@ Seven measurements, all recorded to ``BENCH_service.json`` at the repo root:
 
 * **cold vs warm** — re-submitting a known model returns from the in-memory
   fingerprint cache ≥10x faster;
-* **parallel scaling** — 1-worker vs 4-worker batches (equivalence asserted,
-  scaling printed: CI boxes may grant one core);
+* **parallel scaling** — one serial worker vs four service workers whose
+  jobs also shard candidate evaluation across the intra-search process
+  pool; bit-for-bit equivalence asserted, per-stage overhead breakdown and
+  the host core count recorded (the CI scaling floor is core-aware: CI
+  boxes may grant one core, where sharding CPU-bound work cannot win);
 * **warm shared cache** — a *second service* pointed at the first one's
   cache directory serves the whole batch from disk without re-searching;
 * **dedup under contention** — N identical concurrent submissions coalesce
@@ -34,10 +37,12 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentReport, build_small_model
+from repro.search import TASOOptimizer, WorkerPool
 from repro.search.result import SearchResult
 from repro.service import (LeaseConfig, OptimisationService,
                            RemoteWorkerClient, WorkerServer,
                            register_optimiser)
+from repro.service.profiling import StageProfiler
 from repro.service.worker import JobRequest
 
 SMOKE = os.environ.get("SERVICE_BENCH_SMOKE") == "1"
@@ -109,36 +114,79 @@ def test_service_cold_vs_warm_throughput(benchmark):
 
 
 def test_service_parallel_scaling(benchmark):
-    """4 workers produce graphs identical to serial; scaling is reported."""
+    """Full parallel stack vs one serial worker, with a stage breakdown.
+
+    The parallel leg exercises both levels of parallelism: four service
+    workers run jobs concurrently *and* each job's search shards its
+    candidate evaluation across the persistent process pool (registry
+    config wire-through).  Because candidate evaluation happens in worker
+    processes, the service threads spend their time blocked on pipes —
+    outside the GIL — which is what lets the stack scale on real cores.
+
+    Two honesty measures ride along in the payload: ``cores`` (the CI
+    gate only enforces its >=1.2x floor when the recording host had >1
+    core — sharding CPU-bound work cannot beat serial on one core) and a
+    serialise/dispatch/compute breakdown from the pool's profiling hooks
+    showing where the wall-clock actually went.
+    """
     graphs = _graphs()
+    parallel_config = dict(TASO_CONFIG, parallel=True, num_workers=2)
 
     def run():
         with OptimisationService(num_workers=1) as service:
             serial, serial_s = _run_batch(service, graphs, use_cache=False)
         with OptimisationService(num_workers=4) as service:
-            parallel, parallel_s = _run_batch(service, graphs,
+            started = time.perf_counter()
+            parallel = service.optimise_batch(graphs, "taso", parallel_config,
                                               use_cache=False)
-        return serial, serial_s, parallel, parallel_s
+            parallel_s = time.perf_counter() - started
+        # Stage attribution, measured on one directly profiled search (the
+        # service path spins pools inside registry-created optimisers where
+        # the profiler is out of reach).
+        profiler = StageProfiler()
+        with WorkerPool(num_workers=2, profiler=profiler) as pool:
+            TASOOptimizer(pool=pool, **TASO_CONFIG).optimise(
+                graphs[0][0], graphs[0][1])
+        return serial, serial_s, parallel, parallel_s, profiler.snapshot()
 
-    serial, serial_s, parallel, parallel_s = benchmark.pedantic(
+    serial, serial_s, parallel, parallel_s, stages = benchmark.pedantic(
         run, rounds=1, iterations=1)
 
+    stage_total = sum(stages.values()) or 1.0
     report = ExperimentReport(
         experiment="Service bench",
-        description="1-worker vs 4-worker batch (cache bypassed)")
+        description="1 serial worker vs 4 workers + intra-search pool")
     report.add("serial", seconds=serial_s, jobs_per_s=len(MODELS) / serial_s)
-    report.add("parallel_4", seconds=parallel_s,
+    report.add("parallel_4x2", seconds=parallel_s,
                jobs_per_s=len(MODELS) / parallel_s)
     report.add("scaling", speedup_x=serial_s / parallel_s)
+    for name, seconds in sorted(stages.items()):
+        report.add(f"stage:{name}", seconds=seconds,
+                   fraction=seconds / stage_total)
     print("\n" + report.to_text())
-    _record("parallel_scaling", {"serial_seconds": serial_s,
-                                 "parallel_seconds": parallel_s,
-                                 "speedup": serial_s / parallel_s})
+    _record("parallel_scaling", {
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "cores": os.cpu_count() or 1,
+        "service_workers": 4,
+        "search_workers": 2,
+        "stages": {name: {"seconds": seconds,
+                          "fraction": seconds / stage_total}
+                   for name, seconds in stages.items()},
+        "equivalence": {
+            "final_hash": "matched",
+            "final_cost_float64": "matched",
+            "models_checked": len(MODELS),
+        },
+    })
 
     assert [r.search.model for r in parallel] == MODELS
     for s, p in zip(serial, parallel):
+        # Bit-for-bit, not approximate: parallel evaluation is an
+        # execution strategy, never a different search.
         assert s.graph.structural_hash() == p.graph.structural_hash()
-        assert s.search.final_cost_ms == pytest.approx(p.search.final_cost_ms)
+        assert s.search.final_cost_ms == p.search.final_cost_ms
 
 
 def test_warm_shared_cache_across_services(benchmark, tmp_path):

@@ -83,6 +83,9 @@ class CostModel:
             small_kernel_efficiency=1.0,
             small_kernel_flops=0.0,
             measurement_noise=0.0,
+            # The window-gather pathology is real memory behaviour, not a
+            # kernel-shape penalty — the idealised device keeps it.
+            pool_gather_efficiency=cfg.pool_gather_efficiency,
         ))
         # Key for per-node cost tables carried on graphs: two cost models
         # with identical parameters share (and may reuse) cached entries.

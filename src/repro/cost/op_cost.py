@@ -115,4 +115,22 @@ def op_memory_bytes(op_type: OpType, inputs: Sequence[TensorSpec],
         return 0.0
     read = sum(i.size_bytes for i in inputs)
     written = sum(o.size_bytes for o in outputs)
+
+    if op_type in (OpType.MAXPOOL2D, OpType.AVGPOOL2D) and inputs:
+        # Truncated-window pooling is memory-pathological: the kernel does
+        # not stream the input once — it *gathers* every kernel×kernel
+        # window per output element (overlapping windows re-read the same
+        # input elements up to kernel² times), after first materialising a
+        # padded copy of the input for the edge windows.  Counting only
+        # input+output bytes under-states the traffic by ~kernel², which is
+        # exactly the measured/sim gap BENCH_exec used to show for
+        # MaxPool2D (~27x for the common 3×3 windows).
+        attrs = attrs or {}
+        kernel = int(attrs.get("kernel", 2))
+        elem_bytes = (inputs[0].size_bytes / inputs[0].num_elements
+                      if inputs[0].num_elements else 4.0)
+        gathered = _output_elements(outputs) * kernel * kernel * elem_bytes
+        padded_copy = 2.0 * inputs[0].size_bytes  # pad read + write
+        return float(gathered + padded_copy + written)
+
     return float(read + written)

@@ -1,0 +1,499 @@
+"""Compact binary wire format for graphs and graph deltas.
+
+The JSON codec in :mod:`repro.ir.serialize` is the archival format; this
+module is the *transport* format the parallel search engine and the remote
+worker protocol use.  Two payload kinds share one envelope:
+
+* **graph** — a complete graph, including its private id counter
+  (``Graph._next_id``).  Carrying the counter matters: rewrites allocate node
+  ids from it, so a replica decoded in a worker process hands out exactly the
+  ids the originating process would — the foundation of the serial-vs-parallel
+  bit-for-bit determinism contract (see ``docs/parallel.md``).
+* **delta** — the difference between a child graph and a parent the receiver
+  already holds: removed node ids plus full records for added/changed nodes.
+  A search ships its base graph *once* and thereafter only deltas, keeping
+  per-iteration traffic proportional to what the rewrite touched instead of
+  to the whole model.
+
+Encoded graphs round-trip exactly: node ids, the id counter, attrs (including
+tuples, preserved as tuples), output specs, edge slots and — consequently —
+the structural hash and every cost estimate are identical on both sides.
+Node iteration order is canonicalised to ascending id, which is the invariant
+order every live graph already has (ids are handed out monotonically and
+``Graph.copy`` preserves insertion order), so match enumeration on a decoded
+replica is identical to the original too.
+
+Layout: little-endian, varint-based.  Strings (op names, dtypes) are
+interned in a per-payload string table.  No pickle anywhere — payloads are
+safe to pass between heterogeneous processes and over sockets.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from .graph import Edge, Graph, Node, NodeId
+from .ops import OpType
+from .tensor import DataType, TensorShape, TensorSpec
+
+__all__ = ["encode_graph", "decode_graph", "encode_delta", "apply_delta",
+           "delta_summary", "roundtrip_equal", "WireFormatError",
+           "WIRE_VERSION"]
+
+WIRE_VERSION = 1
+
+_MAGIC = b"RG"
+_KIND_GRAPH = 1
+_KIND_DELTA = 2
+
+# Attribute value tags.
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_TUPLE = 6
+_T_LIST = 7
+_T_DICT = 8
+_T_BYTES = 9
+
+_FLOAT = struct.Struct("<d")
+
+
+class WireFormatError(ValueError):
+    """Raised when a payload cannot be decoded."""
+
+
+# ---------------------------------------------------------------------------
+# Primitives
+# ---------------------------------------------------------------------------
+
+def _w_uvarint(buf: bytearray, value: int) -> None:
+    if value < 0:
+        raise WireFormatError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def _r_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise WireFormatError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _w_svarint(buf: bytearray, value: int) -> None:
+    # ZigZag: interleave signs so small magnitudes stay small.
+    _w_uvarint(buf, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+def _r_svarint(data: bytes, pos: int) -> Tuple[int, int]:
+    raw, pos = _r_uvarint(data, pos)
+    return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), pos
+
+
+def _w_str(buf: bytearray, value: str) -> None:
+    raw = value.encode("utf-8")
+    _w_uvarint(buf, len(raw))
+    buf.extend(raw)
+
+
+def _r_str(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = _r_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise WireFormatError("truncated string")
+    return data[pos:end].decode("utf-8"), end
+
+
+def _w_value(buf: bytearray, value: object) -> None:
+    """Tagged encoding of one attribute value (JSON-ish type universe)."""
+    if value is None:
+        buf.append(_T_NONE)
+    elif value is True:
+        buf.append(_T_TRUE)
+    elif value is False:
+        buf.append(_T_FALSE)
+    elif isinstance(value, int):
+        buf.append(_T_INT)
+        _w_svarint(buf, value)
+    elif isinstance(value, float):
+        buf.append(_T_FLOAT)
+        buf.extend(_FLOAT.pack(value))
+    elif isinstance(value, str):
+        buf.append(_T_STR)
+        _w_str(buf, value)
+    elif isinstance(value, tuple):
+        buf.append(_T_TUPLE)
+        _w_uvarint(buf, len(value))
+        for item in value:
+            _w_value(buf, item)
+    elif isinstance(value, list):
+        buf.append(_T_LIST)
+        _w_uvarint(buf, len(value))
+        for item in value:
+            _w_value(buf, item)
+    elif isinstance(value, dict):
+        buf.append(_T_DICT)
+        _w_uvarint(buf, len(value))
+        for key, item in value.items():
+            _w_str(buf, str(key))
+            _w_value(buf, item)
+    elif isinstance(value, (bytes, bytearray)):
+        buf.append(_T_BYTES)
+        _w_uvarint(buf, len(value))
+        buf.extend(value)
+    else:
+        raise WireFormatError(
+            f"unsupported attribute value type {type(value).__name__}")
+
+
+def _r_value(data: bytes, pos: int) -> Tuple[object, int]:
+    if pos >= len(data):
+        raise WireFormatError("truncated value")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _r_svarint(data, pos)
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise WireFormatError("truncated float")
+        return _FLOAT.unpack_from(data, pos)[0], pos + 8
+    if tag == _T_STR:
+        return _r_str(data, pos)
+    if tag in (_T_TUPLE, _T_LIST):
+        count, pos = _r_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _r_value(data, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        count, pos = _r_uvarint(data, pos)
+        out: Dict[str, object] = {}
+        for _ in range(count):
+            key, pos = _r_str(data, pos)
+            out[key], pos = _r_value(data, pos)
+        return out, pos
+    if tag == _T_BYTES:
+        length, pos = _r_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise WireFormatError("truncated bytes")
+        return bytes(data[pos:end]), end
+    raise WireFormatError(f"unknown value tag {tag}")
+
+
+class _StringTable:
+    """Interns strings during encoding; emitted once per payload."""
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self.strings: List[str] = []
+
+    def intern(self, value: str) -> int:
+        idx = self._index.get(value)
+        if idx is None:
+            idx = self._index[value] = len(self.strings)
+            self.strings.append(value)
+        return idx
+
+    def write(self, buf: bytearray) -> None:
+        _w_uvarint(buf, len(self.strings))
+        for value in self.strings:
+            _w_str(buf, value)
+
+
+def _r_strtab(data: bytes, pos: int) -> Tuple[List[str], int]:
+    count, pos = _r_uvarint(data, pos)
+    strings = []
+    for _ in range(count):
+        value, pos = _r_str(data, pos)
+        strings.append(value)
+    return strings, pos
+
+
+# ---------------------------------------------------------------------------
+# Node records
+# ---------------------------------------------------------------------------
+
+def _w_node(buf: bytearray, table: _StringTable, graph: Graph, nid: NodeId,
+            node: Node) -> None:
+    _w_uvarint(buf, nid)
+    _w_uvarint(buf, table.intern(node.op_type.value))
+    _w_str(buf, node.name)
+    _w_uvarint(buf, len(node.attrs))
+    for key, value in node.attrs.items():
+        _w_str(buf, key)
+        _w_value(buf, value)
+    _w_uvarint(buf, len(node.outputs))
+    for spec in node.outputs:
+        _w_uvarint(buf, table.intern(spec.dtype.value))
+        buf.append(1 if spec.is_constant else 0)
+        _w_str(buf, spec.name)
+        dims = spec.shape.dims
+        _w_uvarint(buf, len(dims))
+        for dim in dims:
+            _w_uvarint(buf, dim)
+    edges = graph.in_edges(nid)  # dst_slot order; slots are dense (validate)
+    _w_uvarint(buf, len(edges))
+    for edge in edges:
+        _w_uvarint(buf, edge.src)
+        _w_uvarint(buf, edge.src_slot)
+
+
+def _r_node(data: bytes, pos: int, strings: List[str],
+            ) -> Tuple[NodeId, Node, List[Tuple[int, int]], int]:
+    """Returns (id, node, in-edge (src, src_slot) pairs in slot order, pos)."""
+    nid, pos = _r_uvarint(data, pos)
+    op_idx, pos = _r_uvarint(data, pos)
+    name, pos = _r_str(data, pos)
+    nattrs, pos = _r_uvarint(data, pos)
+    attrs: Dict[str, object] = {}
+    for _ in range(nattrs):
+        key, pos = _r_str(data, pos)
+        attrs[key], pos = _r_value(data, pos)
+    nouts, pos = _r_uvarint(data, pos)
+    outputs: List[TensorSpec] = []
+    for _ in range(nouts):
+        dtype_idx, pos = _r_uvarint(data, pos)
+        if pos >= len(data):
+            raise WireFormatError("truncated output spec")
+        is_constant = bool(data[pos])
+        pos += 1
+        spec_name, pos = _r_str(data, pos)
+        rank, pos = _r_uvarint(data, pos)
+        dims = []
+        for _ in range(rank):
+            dim, pos = _r_uvarint(data, pos)
+            dims.append(dim)
+        outputs.append(TensorSpec(TensorShape(dims),
+                                  dtype=DataType(strings[dtype_idx]),
+                                  is_constant=is_constant, name=spec_name))
+    nins, pos = _r_uvarint(data, pos)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(nins):
+        src, pos = _r_uvarint(data, pos)
+        src_slot, pos = _r_uvarint(data, pos)
+        edges.append((src, src_slot))
+    node = Node(node_id=nid, op_type=OpType(strings[op_idx]), attrs=attrs,
+                outputs=outputs, name=name)
+    return nid, node, edges, pos
+
+
+def _check_header(data: bytes, expected_kind: int) -> int:
+    if len(data) < 4 or data[:2] != _MAGIC:
+        raise WireFormatError("not a graph wire payload (bad magic)")
+    if data[2] != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {data[2]}")
+    if data[3] != expected_kind:
+        raise WireFormatError(
+            f"payload kind {data[3]} where {expected_kind} was expected")
+    return 4
+
+
+def _header(kind: int) -> bytearray:
+    return bytearray(_MAGIC + bytes((WIRE_VERSION, kind)))
+
+
+# ---------------------------------------------------------------------------
+# Whole graphs
+# ---------------------------------------------------------------------------
+
+def encode_graph(graph: Graph) -> bytes:
+    """Serialise ``graph`` (including its id counter) to bytes."""
+    table = _StringTable()
+    body = bytearray()
+    nodes = graph.nodes
+    ids = sorted(nodes)
+    _w_uvarint(body, len(ids))
+    for nid in ids:
+        _w_node(body, table, graph, nid, nodes[nid])
+    buf = _header(_KIND_GRAPH)
+    _w_str(buf, graph.name)
+    _w_uvarint(buf, graph.id_bound)
+    table.write(buf)
+    buf.extend(body)
+    return bytes(buf)
+
+
+def decode_graph(data: bytes, validate: bool = False) -> Graph:
+    """Reconstruct a graph encoded by :func:`encode_graph`."""
+    pos = _check_header(data, _KIND_GRAPH)
+    name, pos = _r_str(data, pos)
+    next_id, pos = _r_uvarint(data, pos)
+    strings, pos = _r_strtab(data, pos)
+    count, pos = _r_uvarint(data, pos)
+    records = []
+    for _ in range(count):
+        nid, node, edges, pos = _r_node(data, pos, strings)
+        records.append((nid, node, edges))
+    graph = _build(name, next_id, records)
+    if validate:
+        graph.validate()
+    return graph
+
+
+def _build(name: str, next_id: int,
+           records: List[Tuple[NodeId, Node, List[Tuple[int, int]]]]) -> Graph:
+    """Assemble a graph from decoded node records (ascending-id order)."""
+    graph = Graph(name)
+    nodes = graph.nodes
+    in_map = graph._in_edges
+    out_map = graph._out_edges
+    for nid, node, _ in records:
+        nodes[nid] = node
+        out_map[nid] = []
+    for nid, _, edges in records:
+        in_list: List[Edge] = []
+        for dst_slot, (src, src_slot) in enumerate(edges):
+            if src not in nodes:
+                raise WireFormatError(
+                    f"edge references unknown node {src} -> {nid}")
+            edge = Edge(src=src, dst=nid, src_slot=src_slot, dst_slot=dst_slot)
+            in_list.append(edge)
+            out_map.edit(src).append(edge)
+        in_map[nid] = in_list
+    graph._next_id = max(
+        next_id, max((nid for nid, _, _ in records), default=-1) + 1)
+    graph._rebuild_indices()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Deltas
+# ---------------------------------------------------------------------------
+
+def _node_unchanged(parent: Graph, child: Graph, nid: NodeId) -> bool:
+    pnode = parent.nodes[nid]
+    cnode = child.nodes[nid]
+    if pnode is not cnode:
+        if (pnode.op_type is not cnode.op_type or pnode.attrs != cnode.attrs
+                or pnode.outputs != cnode.outputs or pnode.name != cnode.name):
+            return False
+    pedges = parent._in_edges[nid]
+    cedges = child._in_edges[nid]
+    return pedges is cedges or list(pedges) == list(cedges)
+
+
+def encode_delta(parent: Graph, child: Graph) -> bytes:
+    """Encode ``child`` as a delta against ``parent``.
+
+    Works for any pair of graphs whose shared node ids mean the same thing —
+    in practice, any descendant produced from ``parent`` through
+    ``Graph.copy`` + rewrites (ids are never reused, so surviving ids always
+    refer to the identical node).  Unchanged nodes are detected by object
+    identity first (copies share node objects), falling back to a structural
+    comparison.
+    """
+    parent_nodes = parent.nodes
+    child_nodes = child.nodes
+    removed = [nid for nid in parent_nodes if nid not in child_nodes]
+    installed = [nid for nid in child_nodes
+                 if nid not in parent_nodes
+                 or not _node_unchanged(parent, child, nid)]
+    installed.sort()
+
+    table = _StringTable()
+    body = bytearray()
+    _w_uvarint(body, len(installed))
+    for nid in installed:
+        _w_node(body, table, child, nid, child_nodes[nid])
+
+    buf = _header(_KIND_DELTA)
+    _w_str(buf, child.name)
+    _w_uvarint(buf, child.id_bound)
+    _w_uvarint(buf, len(removed))
+    for nid in sorted(removed):
+        _w_uvarint(buf, nid)
+    table.write(buf)
+    buf.extend(body)
+    return bytes(buf)
+
+
+def apply_delta(parent: Graph, data: bytes, validate: bool = False) -> Graph:
+    """Materialise the child graph a delta payload describes.
+
+    ``parent`` is left untouched; unchanged nodes are shared by reference
+    (node objects are immutable by convention — see ``Graph.copy``).  The
+    result carries no caches and no delta lineage: it is a fresh, standalone
+    graph whose structural hash, costs and id counter are identical to the
+    child the delta was encoded from.
+    """
+    pos = _check_header(data, _KIND_DELTA)
+    name, pos = _r_str(data, pos)
+    next_id, pos = _r_uvarint(data, pos)
+    nremoved, pos = _r_uvarint(data, pos)
+    removed = set()
+    for _ in range(nremoved):
+        nid, pos = _r_uvarint(data, pos)
+        removed.add(nid)
+    strings, pos = _r_strtab(data, pos)
+    count, pos = _r_uvarint(data, pos)
+    installed: Dict[NodeId, Tuple[Node, List[Tuple[int, int]]]] = {}
+    for _ in range(count):
+        nid, node, edges, pos = _r_node(data, pos, strings)
+        installed[nid] = (node, edges)
+
+    records: List[Tuple[NodeId, Node, List[Tuple[int, int]]]] = []
+    parent_nodes = parent.nodes
+    all_ids = sorted((set(parent_nodes) - removed) | set(installed))
+    for nid in all_ids:
+        entry = installed.get(nid)
+        if entry is not None:
+            records.append((nid, entry[0], entry[1]))
+        else:
+            if nid in removed or nid not in parent_nodes:
+                raise WireFormatError(f"delta references unknown node {nid}")
+            edges = [(e.src, e.src_slot) for e in parent.in_edges(nid)]
+            records.append((nid, parent_nodes[nid], edges))
+    graph = _build(name, next_id, records)
+    if validate:
+        graph.validate()
+    return graph
+
+
+def delta_summary(data: bytes) -> Dict[str, int]:
+    """Cheap introspection of a delta payload: counts and byte size."""
+    pos = _check_header(data, _KIND_DELTA)
+    _, pos = _r_str(data, pos)
+    _, pos = _r_uvarint(data, pos)
+    nremoved, pos = _r_uvarint(data, pos)
+    for _ in range(nremoved):
+        _, pos = _r_uvarint(data, pos)
+    strings, pos = _r_strtab(data, pos)
+    ninstalled, pos = _r_uvarint(data, pos)
+    return {"removed": nremoved, "installed": ninstalled,
+            "payload_bytes": len(data)}
+
+
+def roundtrip_equal(a: Graph, b: Graph) -> bool:
+    """True when two graphs are indistinguishable to the engine: same ids,
+    same id counter, same structure per node, same structural hash."""
+    if a.id_bound != b.id_bound or set(a.nodes) != set(b.nodes):
+        return False
+    for nid in a.nodes:
+        if not _node_unchanged(a, b, nid):
+            return False
+    return a.structural_hash() == b.structural_hash()

@@ -7,6 +7,8 @@ from .egraph import GraphSpace, SaturationStats
 from .tensat import TensatOptimizer
 from .pet import ConvToWinogradGemm, PETOptimizer, pet_ruleset
 from .random_search import RandomSearchOptimizer
+from .parallel import (PoolSession, WorkerPool, close_shared_pool,
+                       shared_pool)
 
 __all__ = [
     "SearchResult",
@@ -14,6 +16,7 @@ __all__ = [
     "GraphSpace", "SaturationStats", "TensatOptimizer",
     "ConvToWinogradGemm", "PETOptimizer", "pet_ruleset",
     "RandomSearchOptimizer",
+    "PoolSession", "WorkerPool", "shared_pool", "close_shared_pool",
     "get_optimiser", "available_optimisers",
 ]
 

@@ -10,6 +10,7 @@ from ..ir.graph import Graph
 from ..rules.base import RuleSet
 from ..rules.rulesets import default_ruleset
 from .egraph import GraphSpace
+from .parallel import WorkerPool, open_session
 from .result import SearchResult, resolve_latency_source, timed
 
 __all__ = ["TensatOptimizer"]
@@ -53,6 +54,16 @@ class TensatOptimizer:
         backend and reports wall-clock.
     executor:
         Executor backing ``cost_source="measured"``.
+    parallel:
+        Shard each round's candidate materialisation + hashing across the
+        persistent worker pool (see :mod:`repro.search.parallel`).
+        Admission replays in enumeration order, so the explored population
+        — and therefore the extraction — is identical to a serial run.
+    num_workers:
+        Pool size when ``parallel=True`` and no ``pool`` is given.
+    pool:
+        Explicit :class:`~repro.search.parallel.WorkerPool` to use
+        (implies ``parallel=True``).
     """
 
     name = "tensat"
@@ -71,7 +82,13 @@ class TensatOptimizer:
                  progress_callback: Optional[
                      Callable[[int, float, str], None]] = None,
                  cost_source: str = "simulated",
-                 executor: Optional[object] = None):
+                 executor: Optional[object] = None,
+                 parallel: bool = False,
+                 num_workers: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None):
+        self.parallel = bool(parallel)
+        self.num_workers = num_workers
+        self.pool = pool
         self.ruleset = ruleset or default_ruleset()
         self.cost_model = cost_model or CostModel()
         self.e2e = e2e or E2ESimulator()
@@ -126,8 +143,16 @@ class TensatOptimizer:
             (rounds, population size, nodes explored) under ``stats``.
         """
         with timed() as elapsed:
-            population, stats = self.space.explore(
-                graph, on_round=self._round_reporter())
+            # Workers only materialise + hash (extraction costs locally),
+            # so the session ships no cost model.
+            session = open_session(self.parallel, self.pool,
+                                   self.num_workers, graph, self.ruleset)
+            try:
+                population, stats = self.space.explore(
+                    graph, on_round=self._round_reporter(), session=session)
+            finally:
+                if session is not None:
+                    session.close()
             best_graph, best_rules, best_cost = self.space.extract(
                 population, self.cost_model)
             result = SearchResult(
@@ -149,6 +174,10 @@ class TensatOptimizer:
                     "node_budget_hit": float(stats.node_budget_hit),
                     "measured_latency":
                         1.0 if self.cost_source == "measured" else 0.0,
+                    "parallel": 1.0 if session is not None else 0.0,
+                    **({"fallback_batches": float(session.fallback_batches),
+                        "bytes_shipped": float(session.bytes_shipped)}
+                       if session is not None else {}),
                 },
             )
         return result

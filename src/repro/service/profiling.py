@@ -1,0 +1,76 @@
+"""Stage timers for the parallel search / serving hot paths.
+
+The 0.91x ``parallel_scaling`` embarrassment (pre-PR-10 BENCH_service.json)
+could have three different causes — per-job graph serialisation, process-pool
+spin-up, or GIL contention in the thread backend — and the fix is different
+for each.  :class:`StageProfiler` is the measurement tool that settles it: a
+dict of named stage accumulators cheap enough to leave compiled into the
+worker-pool hot path, surfaced in the benchmark payloads as a per-stage
+overhead breakdown (``serialise`` / ``dispatch`` / ``compute`` / ``merge``).
+
+Profilers are additive: worker processes report their compute seconds back
+with each result batch and the caller folds them in with :meth:`add`, so one
+profiler ends up holding wall-clock attributed across process boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+__all__ = ["StageProfiler"]
+
+
+class StageProfiler:
+    """Accumulates wall-clock seconds and call counts per named stage.
+
+    Thread-compatible under CPython (plain dict updates); not intended for
+    lock-free use across processes — workers ship their numbers back as data
+    instead (see :mod:`repro.search.parallel`).
+    """
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Credit ``seconds`` (and ``count`` invocations) to ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + float(seconds)
+        self.counts[name] = self.counts.get(name, 0) + int(count)
+
+    def merge(self, totals: Mapping[str, float]) -> None:
+        """Fold another profiler's ``{stage: seconds}`` snapshot into this."""
+        for name, seconds in totals.items():
+            self.add(name, seconds)
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{stage: seconds}`` accumulated so far (a copy)."""
+        return dict(self.totals)
+
+    def breakdown(self) -> Dict[str, float]:
+        """``{stage: fraction}`` of the total accumulated time (sums to 1)."""
+        total = sum(self.totals.values())
+        if total <= 0.0:
+            return {name: 0.0 for name in self.totals}
+        return {name: seconds / total for name, seconds in self.totals.items()}
+
+    def reset(self) -> None:
+        """Zero every accumulator."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def __repr__(self) -> str:
+        stages = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.totals.items()))
+        return f"StageProfiler({stages})"

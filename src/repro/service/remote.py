@@ -13,8 +13,10 @@ Three methods:
   jobs served, and **jobs currently in flight** — the load signal the
   health-aware dispatcher routes on.
 * ``optimise`` — run one search job; params carry the serialised
-  :class:`~repro.service.worker.JobRequest` (graph via
-  :mod:`repro.ir.serialize`) and the admission-time fingerprint.  The
+  :class:`~repro.service.worker.JobRequest` (graph as base64-wrapped
+  binary wire bytes, :mod:`repro.ir.wire`; repeat calls on the same
+  connection send only a cached ``graph_ref``) and the admission-time
+  fingerprint.  The
   response carries the search outcome *without* the initial graph — the
   caller already holds it and rehydrates locally, which keeps the payload
   proportional to the optimised graph only.  When the params carry
@@ -44,25 +46,35 @@ and fall back to local execution.
 from __future__ import annotations
 
 import asyncio
+import base64
 import json
 import socket
 import socketserver
 import threading
 import time
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, MutableMapping, Optional, Tuple
 
-from ..ir.serialize import graph_from_dict, graph_to_dict
+from ..ir.serialize import graph_from_dict
+from ..ir.wire import decode_graph, encode_graph
 from ..search.result import SearchResult
 from .worker import JobRequest, ServiceResult, execute_request
 
 __all__ = ["WorkerServer", "RemoteWorkerClient", "RemoteWorkerError",
            "RemoteUnavailableError", "optimise_async", "ping_async",
-           "parse_endpoint", "request_to_wire", "request_from_wire",
-           "result_to_wire", "result_from_wire"]
+           "parse_endpoint", "graph_ref_for", "request_to_wire",
+           "request_from_wire", "result_to_wire", "result_from_wire"]
 
 #: Version stamp of the wire format; servers reject requests from newer
 #: protocol revisions rather than mis-decoding them.
-PROTOCOL_VERSION = 1
+#:
+#: Revision 2 ships graphs as the binary :mod:`repro.ir.wire` codec
+#: (base64 inside the JSON envelope, ~3-6x smaller than the JSON graph
+#: dict) and adds per-connection graph caching: a request may carry a
+#: ``graph_ref`` instead of the graph, referring to a graph shipped
+#: earlier on the same connection — so persistent clients re-optimising
+#: the same model stop re-shipping it per call.  Revision-1 payloads
+#: (JSON ``graph`` dicts) are still accepted.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one newline-delimited message (request or response).
 #: Serialised graphs grow with the model; 64 MiB is ~500x the largest
@@ -97,32 +109,69 @@ def parse_endpoint(endpoint: str) -> Tuple[str, int]:
 
 
 # -- wire encoding ------------------------------------------------------
-def request_to_wire(request: JobRequest, fingerprint: str = "") -> Dict[str, Any]:
-    """Serialise a :class:`JobRequest` for the ``optimise`` params."""
+def graph_ref_for(request: JobRequest, fingerprint: str = "") -> str:
+    """The cache key a request's graph travels under: the admission-time
+    fingerprint when the caller has one, else the structural hash."""
+    return fingerprint or request.graph.structural_hash()
+
+
+def request_to_wire(request: JobRequest, fingerprint: str = "",
+                    omit_graph: bool = False) -> Dict[str, Any]:
+    """Serialise a :class:`JobRequest` for the ``optimise`` params.
+
+    The graph ships as binary wire bytes (base64) under ``graph_wire``,
+    tagged with a ``graph_ref`` the server caches it under for the rest of
+    the connection.  With ``omit_graph=True`` only the ref is sent — valid
+    when the same connection already shipped this graph (see
+    :meth:`RemoteWorkerClient.optimise`).
+    """
+    payload: Dict[str, Any] = {
+        "optimiser": request.optimiser,
+        "config": dict(request.config),
+        "model_name": request.model_name,
+        "graph_ref": graph_ref_for(request, fingerprint),
+    }
+    if not omit_graph:
+        payload["graph_wire"] = base64.b64encode(
+            encode_graph(request.graph)).decode("ascii")
     return {
         "protocol": PROTOCOL_VERSION,
-        "request": {
-            "graph": graph_to_dict(request.graph),
-            "optimiser": request.optimiser,
-            "config": dict(request.config),
-            "model_name": request.model_name,
-        },
+        "request": payload,
         "fingerprint": fingerprint,
     }
 
 
-def request_from_wire(params: Mapping[str, Any]) -> Tuple[JobRequest, str]:
+def request_from_wire(params: Mapping[str, Any],
+                      graph_cache: Optional[
+                          MutableMapping[str, Any]] = None,
+                      ) -> Tuple[JobRequest, str]:
     """Decode ``optimise`` params back into a request + fingerprint.
 
+    ``graph_cache`` — the connection's graph store — resolves bare
+    ``graph_ref`` requests and absorbs every freshly shipped graph.
+
     Raises:
-        ValueError: If the params were produced by a newer protocol.
+        ValueError: If the params were produced by a newer protocol, or a
+            ``graph_ref`` is not in the cache (the client must re-ship).
     """
     if params.get("protocol", 1) > PROTOCOL_VERSION:
         raise ValueError(
             f"unsupported protocol revision {params.get('protocol')}")
     data = params["request"]
+    ref = data.get("graph_ref", "")
+    if "graph_wire" in data:
+        graph = decode_graph(base64.b64decode(data["graph_wire"]))
+        if graph_cache is not None and ref:
+            graph_cache[ref] = graph
+    elif "graph" in data:  # protocol revision 1
+        graph = graph_from_dict(data["graph"])
+    else:
+        if graph_cache is None or ref not in graph_cache:
+            raise ValueError(f"unknown graph_ref {ref!r} "
+                             f"(not shipped on this connection)")
+        graph = graph_cache[ref]
     request = JobRequest(
-        graph=graph_from_dict(data["graph"]),
+        graph=graph,
         optimiser=data.get("optimiser", "taso"),
         config=dict(data.get("config", {})),
         model_name=data.get("model_name", ""),
@@ -138,7 +187,8 @@ def result_to_wire(result: ServiceResult) -> Dict[str, Any]:
         "search": {
             "optimiser": search.optimiser,
             "model": search.model,
-            "final_graph": graph_to_dict(search.final_graph),
+            "final_graph_wire": base64.b64encode(
+                encode_graph(search.final_graph)).decode("ascii"),
             "initial_latency_ms": search.initial_latency_ms,
             "final_latency_ms": search.final_latency_ms,
             "initial_cost_ms": search.initial_cost_ms,
@@ -155,11 +205,15 @@ def result_from_wire(payload: Mapping[str, Any],
                      initial_graph: Any) -> ServiceResult:
     """Rehydrate a wire result against the caller's own initial graph."""
     data = payload["search"]
+    if "final_graph_wire" in data:
+        final_graph = decode_graph(base64.b64decode(data["final_graph_wire"]))
+    else:  # protocol revision 1
+        final_graph = graph_from_dict(data["final_graph"])
     search = SearchResult(
         optimiser=data["optimiser"],
         model=data["model"],
         initial_graph=initial_graph,
-        final_graph=graph_from_dict(data["final_graph"]),
+        final_graph=final_graph,
         initial_latency_ms=float(data["initial_latency_ms"]),
         final_latency_ms=float(data["final_latency_ms"]),
         initial_cost_ms=float(data["initial_cost_ms"]),
@@ -186,11 +240,15 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             self.wfile.write(json.dumps(frame).encode() + b"\n")
             self.wfile.flush()
 
+        # Per-connection state: graphs shipped earlier on this connection,
+        # addressable by ``graph_ref`` in later calls (protocol rev 2).
+        context: Dict[str, Any] = {}
         for line in self.rfile:
             line = line.strip()
             if not line:
                 continue
-            response = server.handle_call(line, notify=notify)
+            response = server.handle_call(line, notify=notify,
+                                          context=context)
             self.wfile.write(json.dumps(response).encode() + b"\n")
             self.wfile.flush()
             if server.stopping:
@@ -241,11 +299,14 @@ class WorkerServer:
     # -- dispatch ------------------------------------------------------
     def handle_call(self, raw: bytes,
                     notify: Optional[Callable[[Dict[str, Any]], None]] = None,
+                    context: Optional[Dict[str, Any]] = None,
                     ) -> Dict[str, Any]:
         """Execute one JSON-RPC request line; always returns a response.
 
         ``notify`` — when given — lets streaming methods write JSON-RPC
         notification frames to the connection ahead of the response.
+        ``context`` — when given — is the connection's mutable state dict;
+        ``optimise`` keeps its graph cache there (``graph_ref`` reuse).
         """
         call_id: Any = None
         try:
@@ -260,7 +321,7 @@ class WorkerServer:
                                           "jobs_served": self.jobs_served,
                                           "jobs_inflight": self.jobs_inflight}
             elif method == "optimise":
-                result = self._optimise(params, notify)
+                result = self._optimise(params, notify, context)
             elif method == "shutdown":
                 self.stopping = True
                 threading.Thread(target=self.stop, daemon=True).start()
@@ -274,8 +335,11 @@ class WorkerServer:
 
     def _optimise(self, params: Mapping[str, Any],
                   notify: Optional[Callable[[Dict[str, Any]], None]] = None,
+                  context: Optional[Dict[str, Any]] = None,
                   ) -> Dict[str, Any]:
-        request, fingerprint = request_from_wire(params)
+        graph_cache = (context.setdefault("graphs", {})
+                       if context is not None else None)
+        request, fingerprint = request_from_wire(params, graph_cache)
         progress: Optional[Callable[[int, float, str], None]] = None
         if params.get("stream") and notify is not None:
             def progress(iteration: int, best_cost: float,
@@ -368,6 +432,9 @@ class RemoteWorkerClient:
             raise RemoteUnavailableError(
                 f"cannot reach worker at {endpoint}: {exc}") from exc
         self._file = self._sock.makefile("rwb")
+        #: graph_refs this connection has shipped — later optimise calls
+        #: for the same graph send only the ref (protocol rev 2).
+        self._shipped_refs: set = set()
 
     def call(self, method: str, params: Optional[Mapping[str, Any]] = None,
              on_notification: Optional[
@@ -424,8 +491,15 @@ class RemoteWorkerClient:
         interleaves per-iteration ``event`` frames ahead of the result,
         each forwarded as ``progress(iteration, best_cost,
         best_graph_fp)``.
+
+        The graph ships once per connection: repeat calls for the same
+        graph (same fingerprint/structural hash) send only its
+        ``graph_ref``, which the server resolves from its per-connection
+        cache.
         """
-        params = request_to_wire(request, fingerprint)
+        ref = graph_ref_for(request, fingerprint)
+        params = request_to_wire(request, fingerprint,
+                                 omit_graph=ref in self._shipped_refs)
         on_notification = None
         if progress is not None:
             params["stream"] = True
@@ -435,6 +509,7 @@ class RemoteWorkerClient:
 
         payload = self.call("optimise", params,
                             on_notification=on_notification)
+        self._shipped_refs.add(ref)
         return result_from_wire(payload, request.graph)
 
     def close(self) -> None:

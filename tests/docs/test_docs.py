@@ -29,7 +29,8 @@ def test_markdown_links_resolve():
 
 
 def test_docs_suite_exists():
-    for name in ("architecture.md", "service.md", "extending.md"):
+    for name in ("architecture.md", "service.md", "extending.md",
+                 "parallel.md"):
         assert (REPO_ROOT / "docs" / name).exists(), f"docs/{name} missing"
 
 

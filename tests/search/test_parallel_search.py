@@ -1,0 +1,199 @@
+"""The parallel search engine's determinism and resilience contract.
+
+``parallel=True`` is an *execution strategy*, not a different search: every
+optimiser must retrace its serial trajectory bit-for-bit (float64 costs,
+byte-identical hashes, identical rule sequences).  These tests hold that
+line for all five optimisers plus the RL environment's batched candidate
+costing, and prove the pool degrades to inline evaluation — with unchanged
+results — when workers die mid-search.
+"""
+
+import pytest
+
+from repro.cost import CostModel
+from repro.models import build_model
+from repro.rl.env import GraphRewriteEnv
+from repro.rules import default_ruleset
+from repro.search import (GreedyOptimizer, PETOptimizer,
+                          RandomSearchOptimizer, TASOOptimizer,
+                          TensatOptimizer, WorkerPool, close_shared_pool,
+                          shared_pool)
+from repro.search.parallel import open_session
+from repro.service.registry import create_optimiser
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One prewarmed 2-worker pool shared by the whole module (spawning
+    processes per test would dominate the runtime)."""
+    with WorkerPool(num_workers=2) as p:
+        yield p
+
+
+@pytest.fixture(scope="module")
+def squeezenet():
+    return build_model("squeezenet")
+
+
+def _assert_same_search(serial, parallel):
+    """Bit-for-bit: costs are float64-equal, not approx-equal."""
+    assert parallel.final_cost_ms == serial.final_cost_ms
+    assert parallel.initial_cost_ms == serial.initial_cost_ms
+    assert parallel.final_graph.structural_hash() \
+        == serial.final_graph.structural_hash()
+    assert parallel.applied_rules == serial.applied_rules
+
+
+class TestTrajectoryEquivalence:
+    """Serial and pooled searches are the same search."""
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_taso(self, pool, squeezenet, incremental):
+        serial = TASOOptimizer(max_iterations=8, incremental=incremental)
+        pooled = TASOOptimizer(max_iterations=8, incremental=incremental,
+                               pool=pool)
+        s = serial.optimise(squeezenet, "squeezenet")
+        p = pooled.optimise(squeezenet, "squeezenet")
+        _assert_same_search(s, p)
+        assert s.stats["iterations"] == p.stats["iterations"]
+        assert s.stats["candidates_evaluated"] == \
+            p.stats["candidates_evaluated"]
+        assert p.stats["parallel"] and not s.stats["parallel"]
+        assert p.stats["fallback_batches"] == 0
+        assert p.stats["bytes_shipped"] > 0
+
+    def test_greedy(self, pool, squeezenet):
+        s = GreedyOptimizer(max_iterations=8).optimise(squeezenet, "sq")
+        p = GreedyOptimizer(max_iterations=8, pool=pool).optimise(
+            squeezenet, "sq")
+        _assert_same_search(s, p)
+
+    def test_pet(self, pool, conv_graph):
+        s = PETOptimizer(max_iterations=8).optimise(conv_graph, "conv")
+        p = PETOptimizer(max_iterations=8, pool=pool).optimise(
+            conv_graph, "conv")
+        _assert_same_search(s, p)
+
+    def test_tensat(self, pool, squeezenet):
+        s = TensatOptimizer(round_limit=3).optimise(squeezenet, "sq")
+        p = TensatOptimizer(round_limit=3, pool=pool).optimise(
+            squeezenet, "sq")
+        _assert_same_search(s, p)
+        assert s.stats["graphs_explored"] == p.stats["graphs_explored"]
+
+    def test_random_search(self, pool, squeezenet):
+        s = RandomSearchOptimizer(num_walks=3, horizon=8, seed=11).optimise(
+            squeezenet, "sq")
+        p = RandomSearchOptimizer(num_walks=3, horizon=8, seed=11,
+                                  pool=pool).optimise(squeezenet, "sq")
+        _assert_same_search(s, p)
+
+    def test_num_workers_knob_spins_private_pool(self, conv_graph):
+        s = TASOOptimizer(max_iterations=5).optimise(conv_graph, "conv")
+        p = TASOOptimizer(max_iterations=5, parallel=True,
+                          num_workers=2).optimise(conv_graph, "conv")
+        _assert_same_search(s, p)
+
+    def test_registry_wires_parallel_config_through(self, pool, conv_graph):
+        opt = create_optimiser("taso", max_iterations=5, parallel=True,
+                               num_workers=2)
+        assert opt.parallel and opt.num_workers == 2
+        s = create_optimiser("taso", max_iterations=5).optimise(
+            conv_graph, "conv")
+        _assert_same_search(s, opt.optimise(conv_graph, "conv"))
+
+
+class TestRLBatchedCosting:
+    def test_candidate_costs_match_serial(self, pool, conv_graph):
+        serial_env = GraphRewriteEnv(conv_graph)
+        pooled_env = GraphRewriteEnv(conv_graph, pool=pool)
+        serial_env.reset()
+        pooled_env.reset()
+        for _ in range(3):
+            expected = serial_env.candidate_costs()
+            got = pooled_env.candidate_costs()
+            assert got == expected  # float64-exact, not approx
+            obs = serial_env._observe()
+            if not obs.candidates:
+                break
+            action = 0
+            serial_env.step(action)
+            pooled_env.step(action)
+
+
+class TestResilience:
+    """A dying worker degrades throughput, never results."""
+
+    def test_kill_one_worker_mid_session(self, squeezenet):
+        """A worker killed *after* the session opened: its shard falls back
+        to inline evaluation and the results are unchanged."""
+        from repro.search.parallel import evaluate_candidates_inline
+
+        ruleset = default_ruleset()
+        cost_model = CostModel()
+        candidates = ruleset.all_candidates(squeezenet)
+        expected = [res for _, res in evaluate_candidates_inline(
+            squeezenet, ruleset,
+            [(i, c.rule_name, c.match) for i, c in enumerate(candidates)],
+            cost_model=cost_model)]
+        with WorkerPool(num_workers=2) as pool:
+            session = pool.start_search(squeezenet, ruleset,
+                                        cost_model=cost_model)
+            victim = pool.alive_workers()[0]
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            got = session.evaluate(squeezenet, candidates)
+            assert session.fallback_batches > 0
+            session.close()
+        assert got == expected
+
+    def test_dead_worker_before_search_keeps_results(self, squeezenet):
+        serial = TASOOptimizer(max_iterations=8).optimise(squeezenet, "sq")
+        with WorkerPool(num_workers=2) as pool:
+            victim = pool.alive_workers()[0]
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            pooled = TASOOptimizer(max_iterations=8, pool=pool).optimise(
+                squeezenet, "sq")
+        _assert_same_search(serial, pooled)
+
+    def test_all_workers_dead_falls_back_inline(self, squeezenet):
+        serial = TASOOptimizer(max_iterations=6).optimise(squeezenet, "sq")
+        with WorkerPool(num_workers=2) as pool:
+            for worker in pool.alive_workers():
+                worker.process.kill()
+                worker.process.join(timeout=5)
+            pooled = TASOOptimizer(max_iterations=6, pool=pool).optimise(
+                squeezenet, "sq")
+        _assert_same_search(serial, pooled)
+
+    def test_closed_pool_session_is_refused(self, conv_graph):
+        pool = WorkerPool(num_workers=1)
+        pool.close()
+        assert not pool.healthy
+        session = open_session(True, pool, None, conv_graph,
+                               default_ruleset(), cost_model=CostModel())
+        assert session is None
+
+
+class TestPoolLifecycle:
+    def test_shared_pool_is_reused_and_closable(self):
+        a = shared_pool(num_workers=1)
+        b = shared_pool(num_workers=1)
+        assert a is b
+        assert a.healthy
+        close_shared_pool()
+        assert not a.healthy
+        c = shared_pool(num_workers=1)
+        assert c is not a and c.healthy
+        close_shared_pool()
+
+    def test_serial_mode_opens_no_session(self, conv_graph):
+        session = open_session(False, None, None, conv_graph,
+                               default_ruleset(), cost_model=CostModel())
+        assert session is None
+
+    def test_stats_report_pool_shape(self, pool, conv_graph):
+        result = TASOOptimizer(max_iterations=5, pool=pool).optimise(
+            conv_graph, "conv")
+        assert result.stats["pool_workers"] == 2
